@@ -1,0 +1,100 @@
+"""Figure 1: results of the primary experiment (randomized trial).
+
+Paper table (Jan 19–Aug 7 & Aug 30–Sept 12, 2019):
+
+    Algorithm       Time stalled   Mean SSIM   SSIM variation   Mean duration
+    Fugu            0.12%          16.9 dB     0.68 dB          32.6 min
+    MPC-HM          0.25%          16.8 dB     0.72 dB          27.9 min
+    BBA             0.19%          16.8 dB     1.03 dB          29.6 min
+    Pensieve        0.17%          16.5 dB     0.97 dB          28.5 min
+    RobustMPC-HM    0.10%          16.2 dB     0.90 dB          27.4 min
+
+This bench reproduces the table from the simulated RCT. At bench scale
+(~300 considered streams per arm versus the paper's ~90,000) the stall-ratio
+confidence intervals are wide — §3.4's central point — so the stall
+assertions here are CI-aware; the strict ordering under matched conditions
+is asserted by ``test_paired_frontier.py``.
+"""
+
+from repro.analysis.summary import results_table
+
+PAPER_FIG1 = {
+    "fugu": {"stall_pct": 0.12, "ssim_db": 16.9, "var_db": 0.68, "dur_min": 32.6},
+    "mpc_hm": {"stall_pct": 0.25, "ssim_db": 16.8, "var_db": 0.72, "dur_min": 27.9},
+    "bba": {"stall_pct": 0.19, "ssim_db": 16.8, "var_db": 1.03, "dur_min": 29.6},
+    "pensieve": {"stall_pct": 0.17, "ssim_db": 16.5, "var_db": 0.97, "dur_min": 28.5},
+    "robust_mpc_hm": {"stall_pct": 0.10, "ssim_db": 16.2, "var_db": 0.90, "dur_min": 27.4},
+}
+
+
+def _print_table(summaries):
+    print("\nFigure 1 — primary experiment results (reproduced | paper)")
+    print(
+        f"{'Algorithm':<15}{'Stalled %':>14}{'Mean SSIM':>13}"
+        f"{'SSIM var':>11}{'Duration min':>14}{'N':>7}"
+    )
+    for name, s in sorted(summaries.items()):
+        paper = PAPER_FIG1[name]
+        dur = (
+            s.mean_session_duration_s.point / 60.0
+            if s.mean_session_duration_s
+            else float("nan")
+        )
+        print(
+            f"{name:<15}"
+            f"{s.stall_percent:>7.3f}|{paper['stall_pct']:<6.2f}"
+            f"{s.mean_ssim_db.point:>6.2f}|{paper['ssim_db']:<6.1f}"
+            f"{s.ssim_variation_db:>5.2f}|{paper['var_db']:<5.2f}"
+            f"{dur:>7.1f}|{paper['dur_min']:<6.1f}"
+            f"{s.n_streams:>6}"
+        )
+
+
+def test_fig1_primary_table(benchmark, scheme_summaries):
+    table = benchmark(results_table, list(scheme_summaries.values()))
+    _print_table(scheme_summaries)
+
+    assert set(table) == set(PAPER_FIG1), "all five schemes must report"
+    ssim = {k: v["mean_ssim_db"] for k, v in table.items()}
+    var = {k: scheme_summaries[k].ssim_variation_db for k in table}
+    stall_ci = {k: scheme_summaries[k].stall_ratio for k in table}
+
+    # --- Quality (narrow CIs; stable at bench scale) -------------------
+    # Fugu's SSIM is at or within a whisker of the best.
+    assert ssim["fugu"] >= max(ssim.values()) - 0.25, ssim
+    # Pensieve's SSIM is clearly the lowest (bitrate objective, §3.3).
+    assert ssim["pensieve"] == min(ssim.values()), ssim
+    # RobustMPC trades quality for stall-aversion.
+    assert ssim["robust_mpc_hm"] < max(ssim.values()) - 0.2, ssim
+
+    # --- SSIM variation -------------------------------------------------
+    # Fugu is smoothest (lowest or tied-lowest within 0.05 dB), and BBA is
+    # markedly less smooth than Fugu (paper: 1.03 vs 0.68 dB).
+    assert var["fugu"] <= min(var.values()) + 0.05, var
+    assert var["bba"] > var["fugu"], var
+
+    # --- Stalls (CI-aware: §3.4 says these margins are wide) ------------
+    # MPC-HM is clearly the most stall-prone of the SSIM-optimizing family.
+    assert stall_ci["mpc_hm"].point > stall_ci["fugu"].point, {
+        k: v.point for k, v in stall_ci.items()
+    }
+    assert stall_ci["mpc_hm"].point > stall_ci["bba"].point
+    # Fugu is statistically compatible with (or better than) every scheme:
+    # no arm's entire CI sits below Fugu's.
+    for name, ci in stall_ci.items():
+        if name == "fugu":
+            continue
+        assert ci.high >= stall_ci["fugu"].low, (
+            f"{name} CI entirely below Fugu's: "
+            f"{name}=({ci.low:.5f},{ci.high:.5f}) "
+            f"fugu=({stall_ci['fugu'].low:.5f},{stall_ci['fugu'].high:.5f})"
+        )
+
+    # --- Headline: the 'simple' scheme holds its own --------------------
+    # BBA beats MPC-HM on stalls and is statistically indistinguishable on
+    # quality (§5: "old-fashioned buffer-based control performs
+    # surprisingly well").
+    assert stall_ci["bba"].point < stall_ci["mpc_hm"].point
+    assert scheme_summaries["bba"].mean_ssim_db.overlaps(
+        scheme_summaries["mpc_hm"].mean_ssim_db
+    )

@@ -1,0 +1,69 @@
+"""Figure 3: VBR encoding variability within a stream.
+
+(a) Chunk sizes vary within a stream at both the 5500 kbps and 200 kbps
+    settings — several-fold between quiet and busy content.
+(b) Picture quality (SSIM) also varies chunk-by-chunk, spanning several dB
+    at a fixed encoder setting.
+
+"Variations in picture quality and chunk size within each stream suggest a
+benefit from choosing chunks based on SSIM and size, rather than average
+bitrate."
+"""
+
+import numpy as np
+
+from repro.media.encoder import encode_clip
+from repro.media.source import DEFAULT_CHANNELS
+
+N_CHUNKS = 32  # the figure plots chunk numbers 2..31
+
+
+def build_menus():
+    return encode_clip(DEFAULT_CHANNELS[2], N_CHUNKS, seed=12)
+
+
+def test_fig3_vbr_variability(benchmark):
+    menus = benchmark(build_menus)
+
+    top = [m[-1] for m in menus]  # 5500 kbps rung
+    bottom = [m[0] for m in menus]  # 200 kbps rung
+    top_sizes_mb = [v.size_bytes / 1e6 for v in top]
+    bottom_sizes_mb = [v.size_bytes / 1e6 for v in bottom]
+    top_ssims = [v.ssim_db for v in top]
+    bottom_ssims = [v.ssim_db for v in bottom]
+
+    print("\nFigure 3a — chunk sizes within one stream (MB)")
+    print(
+        f"  5500 kbps: min={min(top_sizes_mb):.2f} max={max(top_sizes_mb):.2f} "
+        f"mean={np.mean(top_sizes_mb):.2f}"
+    )
+    print(
+        f"  200 kbps : min={min(bottom_sizes_mb):.3f} max={max(bottom_sizes_mb):.3f} "
+        f"mean={np.mean(bottom_sizes_mb):.3f}"
+    )
+    print("Figure 3b — SSIM within one stream (dB)")
+    print(
+        f"  5500 kbps: min={min(top_ssims):.1f} max={max(top_ssims):.1f}"
+    )
+    print(
+        f"  200 kbps : min={min(bottom_ssims):.1f} max={max(bottom_ssims):.1f}"
+    )
+
+    # (a) sizes vary substantially within a stream at each setting.
+    assert max(top_sizes_mb) / min(top_sizes_mb) > 1.8
+    assert max(bottom_sizes_mb) / min(bottom_sizes_mb) > 1.8
+    # The top rung's sizes are in the paper's ballpark (Fig. 3a y-axis
+    # reaches ~6 MB for 2 s chunks; mean ~1.4 MB at 5.5 Mbps).
+    assert 0.5 < np.mean(top_sizes_mb) < 3.0
+
+    # (b) quality varies chunk to chunk at a fixed setting…
+    assert max(top_ssims) - min(top_ssims) > 1.0
+    assert max(bottom_ssims) - min(bottom_ssims) > 1.0
+    # …and the two settings occupy distinct quality bands (~6-10 dB vs
+    # 14-18 dB in the paper's plot).
+    assert np.mean(top_ssims) - np.mean(bottom_ssims) > 6.0
+
+    # Size and complexity co-vary: the fattest top-rung chunk is also one
+    # of the lowest-SSIM ones (busy content is hard to encode).
+    fattest = int(np.argmax(top_sizes_mb))
+    assert top_ssims[fattest] < np.mean(top_ssims)

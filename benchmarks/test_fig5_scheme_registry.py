@@ -1,0 +1,72 @@
+"""Figure 5: distinguishing features of the algorithms under test.
+
+The paper's table:
+
+    Algorithm       Control                Predictor        Goal                       How trained
+    BBA             classical (prop.)      n/a              +SSIM s.t. bitrate<limit   n/a
+    MPC-HM          classical (MPC)        classical (HM)   +SSIM,-stalls,-dSSIM       n/a
+    RobustMPC-HM    classical (robust MPC) classical (HM)   +SSIM,-stalls,-dSSIM       n/a
+    Pensieve        learned (DNN)          n/a              +bitrate,-stalls,-dbitrate RL in simulation
+    Emu.-trained F. classical (MPC)        learned (DNN)    +SSIM,-stalls,-dSSIM       supervised, emulation
+    Fugu            classical (MPC)        learned (DNN)    +SSIM,-stalls,-dSSIM       supervised, in situ
+"""
+
+from repro.experiment.schemes import primary_experiment_schemes, scheme_table
+
+
+def build_table(fugu_predictor, pensieve_model, emulation_fugu_predictor):
+    specs = primary_experiment_schemes(
+        fugu_predictor,
+        pensieve_model,
+        emulation_fugu_predictor=emulation_fugu_predictor,
+    )
+    return specs, scheme_table(specs)
+
+
+def test_fig5_scheme_registry(
+    benchmark, fugu_predictor, pensieve_model, emulation_fugu_predictor
+):
+    specs, table = benchmark(
+        build_table, fugu_predictor, pensieve_model, emulation_fugu_predictor
+    )
+
+    print("\nFigure 5 — algorithm feature matrix")
+    for name, row in table.items():
+        print(
+            f"  {name:<15} control={row['control']:<24} "
+            f"predictor={row['predictor']:<15} trained={row['how_trained']}"
+        )
+
+    assert set(table) == {
+        "bba", "mpc_hm", "robust_mpc_hm", "pensieve", "fugu",
+        "fugu_emulation",
+    }
+
+    # Control column.
+    assert "prop. control" in table["bba"]["control"]
+    assert table["mpc_hm"]["control"] == "classical (MPC)"
+    assert "robust" in table["robust_mpc_hm"]["control"]
+    assert table["pensieve"]["control"] == "learned (DNN)"
+    assert table["fugu"]["control"] == "classical (MPC)"
+
+    # Predictor column: only the Fugu variants carry a learned predictor.
+    assert table["fugu"]["predictor"] == "learned (DNN)"
+    assert table["fugu_emulation"]["predictor"] == "learned (DNN)"
+    assert table["mpc_hm"]["predictor"] == "classical (HM)"
+    assert table["bba"]["predictor"] == "n/a"
+    assert table["pensieve"]["predictor"] == "n/a"
+
+    # Training column: the in-situ vs emulation vs RL distinction.
+    assert table["fugu"]["how_trained"] == "supervised learning in situ"
+    assert table["fugu_emulation"]["how_trained"] == (
+        "supervised learning in emulation"
+    )
+    assert table["pensieve"]["how_trained"] == (
+        "reinforcement learning in simulation"
+    )
+    for classical in ("bba", "mpc_hm", "robust_mpc_hm"):
+        assert table[classical]["how_trained"] == "n/a"
+
+    # Every spec builds a working algorithm with the right public name.
+    for spec in specs:
+        assert spec.build().name == spec.name

@@ -1,0 +1,48 @@
+"""A week of Puffer operations: serve traffic, retrain the TTP nightly.
+
+Reproduces the §4.3 operational loop at example scale: each simulated day,
+traffic is split among BBA, MPC-HM and Fugu; each night the Transmission
+Time Predictor retrains on the sliding 14-day telemetry window, warm-started
+from yesterday's weights. Day 0 is Fugu's first day in production, with an
+untrained predictor — watch it find its feet.
+
+Run:  python examples/daily_operations.py     (~2 minutes)
+"""
+
+from repro.experiment import simulate_operation
+
+
+def main():
+    print("Operating the deployment for 6 days (nightly TTP retraining)…\n")
+    predictor, report = simulate_operation(
+        n_days=6,
+        streams_per_day=60,
+        epochs_per_day=6,
+        snapshot_days=[1],
+        watch_time_s=180.0,
+        seed=7,
+    )
+
+    print(f"{'Day':>4}{'Streams':>9}{'Fugu stall %':>14}{'Fugu SSIM':>11}"
+          f"{'BBA stall %':>13}{'Train loss':>12}")
+    for day in report.days:
+        print(
+            f"{day.day:>4}{day.streams_served:>9}"
+            f"{day.fugu_stall_percent:>14.3f}{day.fugu_ssim_db:>11.2f}"
+            f"{day.baseline_stall_percent:>13.3f}{day.training_loss:>12.3f}"
+        )
+
+    first, last = report.days[0], report.days[-1]
+    print(
+        f"\nTraining loss fell {first.training_loss:.3f} → "
+        f"{last.training_loss:.3f} as in-situ telemetry accumulated."
+    )
+    print(
+        f"A day-1 snapshot was frozen for staleness studies "
+        f"({sorted(report.snapshots)}) — §4.6 found such snapshots remain"
+        f"\ncompetitive for months in a stationary environment."
+    )
+
+
+if __name__ == "__main__":
+    main()

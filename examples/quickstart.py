@@ -1,0 +1,53 @@
+"""Quickstart: stream video over a simulated network path with two ABR
+schemes and compare their quality-of-experience metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.abr import BBA, MpcHm
+from repro.media import VbrEncoder, VideoSource
+from repro.media.source import DEFAULT_CHANNELS
+from repro.net import HeavyTailLink, TcpConnection
+from repro.streaming import simulate_stream
+
+
+def stream_once(abr, seed=1, watch_minutes=5.0):
+    """Play `watch_minutes` of live TV over a heavy-tailed 6 Mbit/s path."""
+    rng = np.random.default_rng(seed)
+    source = VideoSource(DEFAULT_CHANNELS[2], rng=rng)  # the NBC-like channel
+    encoder = VbrEncoder(rng=rng)
+    link = HeavyTailLink(base_bps=6e6, seed=seed)
+    connection = TcpConnection(link, base_rtt=0.06)
+    return simulate_stream(
+        encoder.stream(source),
+        abr,
+        connection,
+        watch_time_s=watch_minutes * 60.0,
+    )
+
+
+def main():
+    print("Streaming 5 minutes of simulated live TV over a 6 Mbit/s path…\n")
+    print(f"{'Scheme':<10}{'SSIM dB':>9}{'Stall %':>9}{'ΔSSIM dB':>10}"
+          f"{'Startup s':>11}{'Chunks':>8}")
+    for abr in (BBA(), MpcHm()):
+        result = stream_once(abr)
+        print(
+            f"{abr.name:<10}"
+            f"{result.mean_ssim_db:>9.2f}"
+            f"{result.stall_ratio * 100:>9.2f}"
+            f"{result.ssim_variation_db:>10.2f}"
+            f"{result.startup_delay:>11.2f}"
+            f"{len(result.records):>8}"
+        )
+    print(
+        "\nEach row is one stream: the scheme picks a version of every"
+        "\n2.002-second chunk from a ten-rung H.264 ladder while the"
+        "\nplayback buffer (15 s cap) drains in real time."
+    )
+
+
+if __name__ == "__main__":
+    main()

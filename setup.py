@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`
+through this shim; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

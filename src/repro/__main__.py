@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``quickstart``
+    Stream a few minutes of simulated live TV with two schemes.
+``trial``
+    Run a miniature blinded randomized trial and print the Fig. 1 table.
+``train-fugu``
+    Train Fugu's TTP in situ and save it to a JSON file.
+``detectability``
+    Print the §3.4 statistical-power analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.abr import BBA, MpcHm
+    from repro.media import VbrEncoder, VideoSource
+    from repro.media.source import DEFAULT_CHANNELS
+    from repro.net import HeavyTailLink, TcpConnection
+    from repro.streaming import simulate_stream
+
+    print(f"{'Scheme':<10}{'SSIM dB':>9}{'Stall %':>9}{'Chunks':>8}")
+    for abr in (BBA(), MpcHm()):
+        rng = np.random.default_rng(args.seed)
+        source = VideoSource(DEFAULT_CHANNELS[2], rng=rng)
+        encoder = VbrEncoder(rng=rng)
+        conn = TcpConnection(
+            HeavyTailLink(base_bps=args.mbps * 1e6, seed=args.seed),
+            base_rtt=0.06,
+        )
+        result = simulate_stream(
+            encoder.stream(source), abr, conn,
+            watch_time_s=args.minutes * 60.0,
+        )
+        print(
+            f"{abr.name:<10}{result.mean_ssim_db:>9.2f}"
+            f"{result.stall_ratio * 100:>9.2f}{len(result.records):>8}"
+        )
+    return 0
+
+
+def _cmd_trial(args: argparse.Namespace) -> int:
+    from repro.analysis import summarize_scheme
+    from repro.experiment import (
+        InSituTrainingConfig,
+        RandomizedTrial,
+        TrialConfig,
+        primary_experiment_schemes,
+        train_fugu_in_situ,
+        train_pensieve_in_simulation,
+    )
+
+    print("training learned schemes…", file=sys.stderr)
+    fugu_predictor = train_fugu_in_situ(
+        InSituTrainingConfig(
+            bootstrap_streams=60, iteration_streams=60, iterations=1,
+            epochs=8, seed=args.seed,
+        )
+    )
+    pensieve = train_pensieve_in_simulation(
+        episodes=300, seed=args.seed, n_candidates=2
+    )
+    specs = primary_experiment_schemes(fugu_predictor, pensieve)
+    print(f"randomizing {args.sessions} sessions…", file=sys.stderr)
+    trial = RandomizedTrial(
+        specs, TrialConfig(n_sessions=args.sessions, seed=args.seed)
+    ).run()
+    print(f"{'Scheme':<15}{'Stall %':>9}{'SSIM dB':>9}{'N':>6}")
+    for name in trial.scheme_names:
+        streams = trial.streams_for(name)
+        if not streams:
+            continue
+        s = summarize_scheme(name, streams, n_resamples=200)
+        print(
+            f"{name:<15}{s.stall_percent:>9.3f}"
+            f"{s.mean_ssim_db.point:>9.2f}{s.n_streams:>6}"
+        )
+    return 0
+
+
+def _cmd_train_fugu(args: argparse.Namespace) -> int:
+    from repro.experiment import InSituTrainingConfig, train_fugu_in_situ
+
+    predictor = train_fugu_in_situ(
+        InSituTrainingConfig(
+            bootstrap_streams=args.streams,
+            iteration_streams=args.streams,
+            iterations=args.iterations,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+    )
+    with open(args.output, "w") as f:
+        json.dump(predictor.state_dict(), f)
+    print(f"saved trained TTP to {args.output}")
+    return 0
+
+
+def _cmd_detectability(args: argparse.Namespace) -> int:
+    from repro.analysis import detectability_curve
+
+    points = detectability_curve(
+        improvement=args.improvement,
+        stream_counts=tuple(args.streams),
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    print(
+        f"{'streams':>10}{'stream-years':>14}{'CI ±%':>8}{'P(detect)':>11}"
+    )
+    for p in points:
+        print(
+            f"{p.n_streams_per_scheme:>10}"
+            f"{p.stream_years_per_scheme:>14.2f}"
+            f"{p.ci_half_width_fraction * 100:>8.1f}"
+            f"{p.detection_rate:>11.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Learning in situ' (Puffer/Fugu, NSDI 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="stream with two schemes")
+    quick.add_argument("--minutes", type=float, default=5.0)
+    quick.add_argument("--mbps", type=float, default=6.0)
+    quick.add_argument("--seed", type=int, default=1)
+    quick.set_defaults(func=_cmd_quickstart)
+
+    trial = sub.add_parser("trial", help="run a miniature randomized trial")
+    trial.add_argument("--sessions", type=int, default=200)
+    trial.add_argument("--seed", type=int, default=0)
+    trial.set_defaults(func=_cmd_trial)
+
+    train = sub.add_parser("train-fugu", help="train the TTP in situ")
+    train.add_argument("--streams", type=int, default=60)
+    train.add_argument("--iterations", type=int, default=1)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default="fugu_ttp.json")
+    train.set_defaults(func=_cmd_train_fugu)
+
+    power = sub.add_parser(
+        "detectability", help="statistical power analysis (§3.4)"
+    )
+    power.add_argument("--improvement", type=float, default=0.15)
+    power.add_argument(
+        "--streams", type=int, nargs="+", default=[1000, 8000, 64000]
+    )
+    power.add_argument("--trials", type=int, default=20)
+    power.add_argument("--seed", type=int, default=0)
+    power.set_defaults(func=_cmd_detectability)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

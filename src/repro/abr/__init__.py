@@ -1,0 +1,52 @@
+"""ABR algorithms evaluated in the Puffer study (Fig. 5), plus extensions.
+
+* :class:`BBA` — buffer-based control [17], the "simple" scheme that proved
+  hard to beat in the wild;
+* :class:`MpcHm` / :class:`RobustMpcHm` — control-theoretic MPC with a
+  harmonic-mean throughput predictor [43];
+* :class:`Pensieve` — reinforcement-learned policy trained in simulation
+  [23];
+* :class:`RateBased` and :class:`Bola` — additional classical baselines;
+* :class:`Cs2pMpc` — CS2P-style discrete-state HMM throughput prediction
+  feeding the shared MPC controller [38];
+* :class:`OboeRobustMpc` — Oboe-style per-network-state auto-tuning of
+  RobustMPC [2].
+
+Fugu itself lives in :mod:`repro.core` since it is the paper's contribution.
+"""
+
+from repro.abr.base import (
+    AbrAlgorithm,
+    AbrContext,
+    ChunkRecord,
+    harmonic_mean_throughput,
+)
+from repro.abr.bba import BBA
+from repro.abr.cs2p import Cs2pMpc, DiscreteThroughputHmm
+from repro.abr.bola import Bola
+from repro.abr.mpc import HarmonicMeanPredictor, MpcHm, RobustMpcHm
+from repro.abr.oboe import OboeConfigMap, OboeRobustMpc, build_config_map
+from repro.abr.pensieve import ActorCritic, Pensieve, PensieveTrainer, SimpleChunkEnv
+from repro.abr.rate_based import RateBased
+
+__all__ = [
+    "AbrAlgorithm",
+    "AbrContext",
+    "ChunkRecord",
+    "harmonic_mean_throughput",
+    "BBA",
+    "Bola",
+    "Cs2pMpc",
+    "DiscreteThroughputHmm",
+    "OboeRobustMpc",
+    "OboeConfigMap",
+    "build_config_map",
+    "MpcHm",
+    "RobustMpcHm",
+    "HarmonicMeanPredictor",
+    "RateBased",
+    "Pensieve",
+    "ActorCritic",
+    "PensieveTrainer",
+    "SimpleChunkEnv",
+]

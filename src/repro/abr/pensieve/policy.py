@@ -1,0 +1,55 @@
+"""Deployable Pensieve ABR wrapper.
+
+Maps the live :class:`AbrContext` into Pensieve's state vector and executes
+the trained policy greedily (the released Pensieve does the same at
+inference: argmax over the policy head). Pensieve ignores SSIM and per-chunk
+sizes — its Puffer deployment "considers the average bitrate of each Puffer
+stream" (§3.3) — so its state uses only the ladder's nominal bitrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.abr.pensieve.model import ActorCritic, encode_state
+from repro.media.ladder import PUFFER_LADDER, EncodingLadder
+
+
+class Pensieve(AbrAlgorithm):
+    """Greedy execution of a trained Pensieve actor."""
+
+    name = "pensieve"
+
+    def __init__(
+        self,
+        model: ActorCritic,
+        ladder: EncodingLadder = PUFFER_LADDER,
+    ) -> None:
+        if model.n_actions != len(ladder):
+            raise ValueError(
+                "policy action space must match the ladder size "
+                f"({model.n_actions} != {len(ladder)})"
+            )
+        self.model = model
+        self.ladder = ladder
+        self._last_rung: Optional[int] = None
+
+    def begin_stream(self) -> None:
+        self._last_rung = None
+
+    def choose(self, context: AbrContext) -> int:
+        last_bitrate = (
+            None
+            if self._last_rung is None
+            else self.ladder[self._last_rung].target_bitrate
+        )
+        state = encode_state(
+            last_bitrate,
+            context.buffer_s,
+            context.history,
+            self.ladder.bitrates,
+        )
+        action = self.model.act(state, greedy=True)
+        self._last_rung = action
+        return action

@@ -1,0 +1,47 @@
+"""Rate-based ABR baseline.
+
+The classic "match the video bitrate to the network throughput" family
+(§2: FESTIVE and friends [18, 21, 25]): estimate throughput with the
+harmonic mean of recent samples and pick the highest rung whose bitrate
+fits under a safety-discounted estimate. Not part of the primary experiment
+but a useful reference point and regression anchor for the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import AbrAlgorithm, AbrContext, harmonic_mean_throughput
+
+DEFAULT_STARTUP_THROUGHPUT_BPS = 1.3e6
+"""Conservative assumption before any throughput sample exists."""
+
+
+class RateBased(AbrAlgorithm):
+    """Highest rung whose actual chunk bitrate fits the predicted rate."""
+
+    name = "rate_based"
+
+    def __init__(
+        self,
+        safety_factor: float = 0.85,
+        window: int = 5,
+        startup_throughput_bps: float = DEFAULT_STARTUP_THROUGHPUT_BPS,
+    ) -> None:
+        if not 0.0 < safety_factor <= 1.0:
+            raise ValueError("safety factor must lie in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.safety_factor = safety_factor
+        self.window = window
+        self.startup_throughput_bps = startup_throughput_bps
+
+    def choose(self, context: AbrContext) -> int:
+        estimate = harmonic_mean_throughput(context.history, self.window)
+        if estimate is None:
+            estimate = self.startup_throughput_bps
+        budget = estimate * self.safety_factor
+        menu = context.menu
+        choice = 0
+        for i, version in enumerate(menu):
+            if version.size_bits / version.duration <= budget:
+                choice = i
+        return choice

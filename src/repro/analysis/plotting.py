@@ -1,0 +1,110 @@
+"""ASCII rendering of the paper's figure types.
+
+The benchmarks and examples print their figure data; these helpers render
+the two recurring plot shapes — the SSIM-vs-stall scatter of Figs. 8/11 and
+the log-log CCDF of Fig. 10 — as terminal-friendly ASCII so the
+reproduction's output can be eyeballed against the paper without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def _normalize(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    if hi - lo < 1e-12:
+        return np.zeros(len(values), dtype=int)
+    frac = (np.asarray(values) - lo) / (hi - lo)
+    return np.clip((frac * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def scatter_plot(
+    points: Dict[str, Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    invert_x: bool = False,
+) -> str:
+    """Render labelled points as an ASCII scatter.
+
+    ``points`` maps a series name to an (x, y) pair. ``invert_x`` flips the
+    x-axis so "better" can point right, matching the paper's stall axes
+    (Fig. 8 plots *decreasing* stall percentage rightward).
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    names = list(points)
+    xs = np.array([points[n][0] for n in names], dtype=float)
+    ys = np.array([points[n][1] for n in names], dtype=float)
+    x_pad = (xs.max() - xs.min()) * 0.1 + 1e-9
+    y_pad = (ys.max() - ys.min()) * 0.1 + 1e-9
+    x_lo, x_hi = xs.min() - x_pad, xs.max() + x_pad
+    y_lo, y_hi = ys.min() - y_pad, ys.max() + y_pad
+    cols = _normalize(xs, x_lo, x_hi, width)
+    if invert_x:
+        cols = width - 1 - cols
+    rows = height - 1 - _normalize(ys, y_lo, y_hi, height)
+
+    grid = [[" "] * width for _ in range(height)]
+    labels: List[str] = []
+    for i, name in enumerate(names):
+        marker = chr(ord("A") + i % 26)
+        grid[rows[i]][cols[i]] = marker
+        labels.append(f"  {marker} = {name} ({xs[i]:.3g}, {ys[i]:.3g})")
+
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    direction = "decreasing ->" if invert_x else "increasing ->"
+    lines.append(f" x: {x_label} ({direction}), y: {y_label} (up)")
+    lines.extend(labels)
+    return "\n".join(lines)
+
+
+def ccdf_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "value",
+) -> str:
+    """Render CCDFs on log-log axes as ASCII (the Fig. 10 shape).
+
+    ``series`` maps a name to ``(sorted_values, survival_probabilities)``
+    as produced by :func:`repro.analysis.stats.ccdf`.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(v[0], float) for v in series.values()])
+    all_p = np.concatenate([np.asarray(v[1], float) for v in series.values()])
+    all_x = all_x[all_x > 0]
+    all_p = all_p[all_p > 0]
+    if len(all_x) == 0:
+        raise ValueError("CCDF values must be positive for log axes")
+    x_lo, x_hi = np.log10(all_x.min()), np.log10(all_x.max() + 1e-12)
+    p_lo, p_hi = np.log10(all_p.min()), 0.0
+
+    grid = [[" "] * width for _ in range(height)]
+    labels = []
+    for i, (name, (values, probs)) in enumerate(series.items()):
+        marker = chr(ord("a") + i % 26)
+        values = np.asarray(values, float)
+        probs = np.asarray(probs, float)
+        keep = (values > 0) & (probs > 0)
+        cols = _normalize(np.log10(values[keep]), x_lo, x_hi, width)
+        rows = height - 1 - _normalize(np.log10(probs[keep]), p_lo, p_hi, height)
+        for c, r in zip(cols, rows):
+            grid[r][c] = marker
+        labels.append(f"  {marker} = {name}")
+
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" x: log {x_label}, y: log P(X > x)")
+    lines.extend(labels)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Per-stream QoE under the metrics the literature compares on.
+
+Two families appear in the paper:
+
+* the **SSIM-based Eq. 1 objective** Puffer's schemes optimize
+  (§4.1: quality − λ·|Δquality| − µ·stall);
+* the **bitrate-based QoE-lin** of MPC/Pensieve (§2's framing and
+  Pensieve's reward: bitrate − 4.3·rebuffer − |Δbitrate|).
+
+Computing both for the same streams makes the Fig. 4 point quantitative:
+a scheme can win QoE-lin (spend bits) while losing the perceptual metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.qoe import DEFAULT_QOE, QoeParams
+
+if TYPE_CHECKING:
+    from repro.streaming.session import StreamResult
+
+QOE_LIN_REBUFFER_PENALTY = 4.3
+"""Mbps-equivalents per stall second (Pensieve's QoE-lin)."""
+
+QOE_LIN_SMOOTHNESS_PENALTY = 1.0
+
+
+@dataclass(frozen=True)
+class StreamQoe:
+    """Both QoE figures for one stream, per chunk played."""
+
+    ssim_qoe_per_chunk: float
+    qoe_lin_per_chunk: float
+    n_chunks: int
+
+
+def ssim_qoe(result: "StreamResult", params: QoeParams = DEFAULT_QOE) -> float:
+    """Mean per-chunk Eq. 1 QoE over a stream.
+
+    The stall term charges the stream's actual accumulated stall time
+    (µ-weighted), amortized per chunk, rather than re-deriving stalls from
+    per-chunk arithmetic — the simulator already accounted them exactly.
+    """
+    records = result.records
+    if not records:
+        raise ValueError("stream played no chunks")
+    total = 0.0
+    previous = None
+    for record in records:
+        total += params.quality_weight * record.ssim_db
+        if previous is not None:
+            total -= params.variation_weight * abs(record.ssim_db - previous)
+        previous = record.ssim_db
+    total -= params.stall_weight * result.stall_time
+    return total / len(records)
+
+
+def qoe_lin(result: "StreamResult") -> float:
+    """Mean per-chunk bitrate-based QoE-lin over a stream."""
+    records = result.records
+    if not records:
+        raise ValueError("stream played no chunks")
+    total = 0.0
+    previous_mbps = None
+    for record in records:
+        # The chunk's actual compressed bitrate (VBR), in Mbit/s.
+        mbps = record.size_bytes * 8.0 / 2.002 / 1e6
+        total += mbps
+        if previous_mbps is not None:
+            total -= QOE_LIN_SMOOTHNESS_PENALTY * abs(mbps - previous_mbps)
+        previous_mbps = mbps
+    total -= QOE_LIN_REBUFFER_PENALTY * result.stall_time
+    return total / len(records)
+
+
+def stream_qoe(result: "StreamResult") -> StreamQoe:
+    """Both metrics for one stream."""
+    return StreamQoe(
+        ssim_qoe_per_chunk=ssim_qoe(result),
+        qoe_lin_per_chunk=qoe_lin(result),
+        n_chunks=len(result.records),
+    )
+
+
+def mean_qoe(results: Sequence["StreamResult"]) -> StreamQoe:
+    """Watch-time-weighted mean of both metrics across streams."""
+    played = [r for r in results if r.records]
+    if not played:
+        raise ValueError("no streams played any chunks")
+    weights = np.array([r.watch_time for r in played])
+    if weights.sum() <= 0:
+        weights = np.ones(len(played))
+    ssim_values = np.array([ssim_qoe(r) for r in played])
+    lin_values = np.array([qoe_lin(r) for r in played])
+    return StreamQoe(
+        ssim_qoe_per_chunk=float(np.average(ssim_values, weights=weights)),
+        qoe_lin_per_chunk=float(np.average(lin_values, weights=weights)),
+        n_chunks=int(sum(len(r.records) for r in played)),
+    )

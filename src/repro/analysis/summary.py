@@ -1,0 +1,124 @@
+"""Per-scheme summaries — the rows of Fig. 1 and the points of Figs. 4/8/9/10.
+
+Aggregation follows §3.4: the stall ratio is total-stalled over total-watch
+(bootstrap CI); average SSIM is the duration-weighted mean over streams
+(weighted-standard-error CI); SSIM variation is the duration-weighted mean
+of each stream's chunk-to-chunk |ΔSSIM|; mean duration is the session-level
+time on site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    bootstrap_stall_ratio_ci,
+)
+from repro.analysis.stats import stream_years, weighted_mean, weighted_mean_ci
+from repro.net.path import SLOW_PATH_THRESHOLD_BPS
+from repro.streaming.session import StreamResult
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """One scheme's row of the primary-results table (Fig. 1)."""
+
+    scheme: str
+    n_streams: int
+    stream_years: float
+    stall_ratio: ConfidenceInterval
+    mean_ssim_db: ConfidenceInterval
+    ssim_variation_db: float
+    mean_bitrate_bps: float
+    mean_session_duration_s: Optional[ConfidenceInterval]
+    startup_delay_s: float
+    first_chunk_ssim_db: float
+    fraction_streams_with_stall: float
+
+    @property
+    def stall_percent(self) -> float:
+        return self.stall_ratio.point * 100.0
+
+
+def summarize_scheme(
+    scheme: str,
+    streams: Sequence[StreamResult],
+    session_durations: Optional[Sequence[float]] = None,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> SchemeSummary:
+    """Aggregate eligible streams (and optionally session durations) into a
+    Fig. 1 row."""
+    if not streams:
+        raise ValueError(f"no eligible streams for scheme {scheme!r}")
+    watch = np.array([s.watch_time for s in streams])
+    ssim = np.array([s.mean_ssim_db for s in streams])
+    variation = np.array([s.ssim_variation_db for s in streams])
+    valid = ~np.isnan(ssim)
+    startup = [s.startup_delay for s in streams if s.startup_delay is not None]
+    first_ssim = np.array(
+        [s.first_chunk_ssim_db for s in streams if s.records]
+    )
+    duration_ci = None
+    if session_durations is not None and len(session_durations) >= 2:
+        duration_ci = bootstrap_mean_ci(
+            session_durations, n_resamples=n_resamples, seed=seed
+        )
+    return SchemeSummary(
+        scheme=scheme,
+        n_streams=len(streams),
+        stream_years=stream_years(float(watch.sum())),
+        stall_ratio=bootstrap_stall_ratio_ci(
+            streams, n_resamples=n_resamples, seed=seed
+        ),
+        mean_ssim_db=weighted_mean_ci(ssim[valid], watch[valid]),
+        ssim_variation_db=weighted_mean(variation[valid], watch[valid]),
+        mean_bitrate_bps=weighted_mean(
+            np.array([s.mean_bitrate_bps for s in streams])[valid], watch[valid]
+        ),
+        mean_session_duration_s=duration_ci,
+        startup_delay_s=float(np.mean(startup)) if startup else float("nan"),
+        first_chunk_ssim_db=(
+            float(np.mean(first_ssim)) if len(first_ssim) else float("nan")
+        ),
+        fraction_streams_with_stall=float(
+            np.mean([s.had_stall for s in streams])
+        ),
+    )
+
+
+def split_slow_paths(
+    streams: Sequence[StreamResult],
+    threshold_bps: float = SLOW_PATH_THRESHOLD_BPS,
+) -> "tuple[List[StreamResult], List[StreamResult]]":
+    """Partition streams into (slow, fast) by mean TCP delivery rate, the
+    Fig. 8 right-panel cut."""
+    slow = [s for s in streams if s.is_slow_path(threshold_bps)]
+    fast = [s for s in streams if not s.is_slow_path(threshold_bps)]
+    return slow, fast
+
+
+def results_table(
+    summaries: Sequence[SchemeSummary],
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 1 as data: scheme -> column values."""
+    return {
+        s.scheme: {
+            "time_stalled_percent": s.stall_percent,
+            "mean_ssim_db": s.mean_ssim_db.point,
+            "ssim_variation_db": s.ssim_variation_db,
+            "mean_duration_min": (
+                s.mean_session_duration_s.point / 60.0
+                if s.mean_session_duration_s is not None
+                else float("nan")
+            ),
+            "n_streams": s.n_streams,
+            "stream_years": s.stream_years,
+        }
+        for s in summaries
+    }

@@ -1,0 +1,196 @@
+"""Stochastic model-predictive controller (§4.4).
+
+The controller maximizes expected cumulative QoE (Eq. 1) over an H-step
+lookahead horizon by value iteration over a discretized playback buffer,
+exactly as the paper describes: "the controller computes the optimal
+trajectory by solving the above value iteration with dynamic programming...
+it discretizes B_i into bins".
+
+One controller serves MPC-HM, RobustMPC-HM, and Fugu — they differ only in
+the :class:`TransmissionTimeModel` supplying ``P[T̂(K_i^s) = T_j]``:
+
+* the harmonic-mean predictor returns a *point mass* (a single predicted
+  time per candidate size);
+* Fugu's TTP returns a full 21-bin probability distribution.
+
+The implementation runs the backward recursion with numpy over the buffer
+grid, which is the vectorized equivalent of the paper's memoized forward
+recursion over reachable states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.qoe import DEFAULT_QOE, QoeParams
+
+if TYPE_CHECKING:  # typing only; avoids a circular import with repro.abr
+    from repro.abr.base import AbrContext
+
+DEFAULT_HORIZON = 5
+"""Planning horizon in chunks (~10 s of video, §4.5)."""
+
+DEFAULT_BUFFER_BIN_S = 0.5
+"""Buffer discretization step. The paper only says the buffer is
+"discretize[d] into bins"; half-second bins keep the planner's error well
+under one chunk duration while halving the DP's state space."""
+
+
+@dataclass(frozen=True)
+class TimeDistribution:
+    """Predicted transmission-time distribution for each candidate version.
+
+    ``times[a, j]`` is the j-th possible transmission time of version ``a``
+    and ``probs[a, j]`` its probability; rows sum to 1. A deterministic
+    predictor uses a single column.
+    """
+
+    times: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Only shape checks here: this sits on the per-decision hot path.
+        # Full numeric validation is available via validate().
+        if self.times.shape != self.probs.shape:
+            raise ValueError("times and probs must share a shape")
+        if self.times.ndim != 2:
+            raise ValueError("expected a (n_versions, n_outcomes) matrix")
+
+    def validate(self) -> None:
+        """Full numeric sanity checks (used by tests and custom models)."""
+        if np.any(self.times < 0):
+            raise ValueError("transmission times must be non-negative")
+        if np.any(self.probs < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        row_sums = self.probs.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError("each version's probabilities must sum to 1")
+
+    @classmethod
+    def point_mass(cls, times: Sequence[float]) -> "TimeDistribution":
+        """Deterministic prediction: one outcome per version."""
+        arr = np.asarray(times, dtype=float).reshape(-1, 1)
+        return cls(times=arr, probs=np.ones_like(arr))
+
+
+class TransmissionTimeModel(Protocol):
+    """Supplies predicted transmission-time distributions to the planner."""
+
+    def predict(
+        self, context: "AbrContext", step: int, sizes_bytes: np.ndarray
+    ) -> TimeDistribution:
+        """Distribution over transmission times for each candidate size of
+        the chunk ``step`` positions ahead of the current one (step 0 is the
+        chunk being decided)."""
+        ...
+
+
+class ValueIterationController:
+    """H-step stochastic MPC over a discretized buffer (§4.4–4.5)."""
+
+    def __init__(
+        self,
+        qoe: QoeParams = DEFAULT_QOE,
+        horizon: int = DEFAULT_HORIZON,
+        max_buffer_s: float = 15.0,
+        buffer_bin_s: float = DEFAULT_BUFFER_BIN_S,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if max_buffer_s <= 0 or buffer_bin_s <= 0:
+            raise ValueError("buffer parameters must be positive")
+        self.qoe = qoe
+        self.horizon = horizon
+        self.max_buffer_s = max_buffer_s
+        self.buffer_bin_s = buffer_bin_s
+        self._grid = np.arange(0.0, max_buffer_s + buffer_bin_s / 2, buffer_bin_s)
+
+    def _bin_index(self, buffer_s: np.ndarray) -> np.ndarray:
+        idx = np.rint(buffer_s / self.buffer_bin_s).astype(int)
+        return np.clip(idx, 0, len(self._grid) - 1)
+
+    def plan(
+        self,
+        context: AbrContext,
+        model: TransmissionTimeModel,
+    ) -> int:
+        """Return the ladder index to send for ``context.menu``.
+
+        Plans over ``min(horizon, len(context.lookahead))`` steps; replanning
+        after every chunk (receding horizon) is the caller's responsibility,
+        which the ABR wrapper performs naturally by calling ``plan`` per
+        chunk.
+        """
+        steps = min(self.horizon, len(context.lookahead))
+        if steps == 0:
+            raise ValueError("lookahead must contain at least one menu")
+        menus = context.lookahead[:steps]
+        n_bins = len(self._grid)
+        grid = self._grid
+
+        # Backward pass. V[b, a_prev] = max expected QoE-to-go from buffer
+        # bin b when the previous chunk used rung a_prev of the previous
+        # step's menu.
+        value: Optional[np.ndarray] = None  # shape (n_bins, n_prev_rungs)
+        first_step_ev: Optional[np.ndarray] = None
+        for step in range(steps - 1, -1, -1):
+            menu = menus[step]
+            n_rungs = len(menu)
+            sizes = np.asarray(menu.sizes)
+            qualities = np.asarray(menu.ssims_db)
+            duration = menu.duration
+            dist = model.predict(context, step, sizes)
+            if dist.times.shape[0] != n_rungs:
+                raise ValueError("model returned wrong number of versions")
+            times = dist.times  # (n_rungs, k)
+            probs = dist.probs
+
+            # stall[a, b, j] and next-buffer bins; vectorized over the grid.
+            t = times[:, None, :]  # (n_rungs, 1, k)
+            b = grid[None, :, None]  # (1, n_bins, 1)
+            stall = np.maximum(t - b, 0.0)
+            next_buffer = np.minimum(
+                np.maximum(b - t, 0.0) + duration, self.max_buffer_s
+            )
+            # Expected immediate reward without the variation term.
+            immediate = (
+                self.qoe.quality_weight * qualities[:, None, None]
+                - self.qoe.stall_weight * stall
+            )
+            if value is not None:
+                nb_idx = self._bin_index(next_buffer)  # (n_rungs, n_bins, k)
+                # Continuation indexed by (next bin, this rung as a_prev).
+                cont = value[nb_idx, np.arange(n_rungs)[:, None, None]]
+                immediate = immediate + cont
+            # Expectation over outcomes j.
+            ev = (immediate * probs[:, None, :]).sum(axis=2)  # (n_rungs, n_bins)
+
+            if step == 0:
+                first_step_ev = ev
+                break
+
+            # Build V for the previous step: subtract the variation penalty
+            # |q_a - q_prev| for every previous rung.
+            prev_menu = menus[step - 1]
+            prev_qualities = np.asarray(prev_menu.ssims_db)
+            # penalty[a, p] = λ |q_a - q_prev_p|
+            penalty = self.qoe.variation_weight * np.abs(
+                qualities[:, None] - prev_qualities[None, :]
+            )
+            # candidate[a, b, p] = ev[a, b] - penalty[a, p]
+            candidate = ev[:, :, None] - penalty[:, None, :]
+            value = candidate.max(axis=0).reshape(n_bins, len(prev_menu))
+
+        assert first_step_ev is not None
+        menu0 = menus[0]
+        qualities0 = np.asarray(menu0.ssims_db)
+        b0 = self._bin_index(np.asarray([context.buffer_s]))[0]
+        scores = first_step_ev[:, b0].copy()
+        if context.last_ssim_db is not None:
+            scores -= self.qoe.variation_weight * np.abs(
+                qualities0 - context.last_ssim_db
+            )
+        return int(np.argmax(scores))

@@ -1,0 +1,110 @@
+"""Fugu: stochastic MPC over a learned transmission-time predictor (§4).
+
+Fugu = the value-iteration controller of :mod:`repro.core.controller`
+(shared with MPC-HM) + a trained :class:`TransmissionTimePredictor`. The
+ablated deployments of §4.6 — point-estimate Fugu, throughput-predictor
+Fugu, linear Fugu, no-TCP-statistics Fugu — are the same class wrapped
+around a differently-configured TTP; factory helpers construct each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.core.controller import ValueIterationController
+from repro.core.qoe import DEFAULT_QOE, QoeParams
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+
+
+class Fugu(AbrAlgorithm):
+    """The Fugu ABR scheme.
+
+    Parameters
+    ----------
+    predictor:
+        A (typically trained) TTP. An untrained TTP yields near-uniform
+        predictions and poor control — training in situ is the point.
+    qoe, horizon:
+        Objective weights and planning horizon; defaults are the paper's
+        λ=1, µ=100, H=5 (§4.5).
+    name:
+        Override for ablated variants so results are labeled distinctly.
+    """
+
+    name = "fugu"
+
+    def __init__(
+        self,
+        predictor: TransmissionTimePredictor,
+        qoe: QoeParams = DEFAULT_QOE,
+        horizon: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if horizon is None:
+            horizon = predictor.config.horizon
+        if horizon > predictor.config.horizon:
+            raise ValueError(
+                "planning horizon cannot exceed the TTP's trained horizon"
+            )
+        self.predictor = predictor
+        self.controller = ValueIterationController(qoe=qoe, horizon=horizon)
+        if name is not None:
+            self.name = name
+
+    def choose(self, context: AbrContext) -> int:
+        return self.controller.plan(context, self.predictor)
+
+
+# ----------------------------------------------------------------------
+# Ablated variants (§4.6 / Fig. 7)
+# ----------------------------------------------------------------------
+def make_fugu_variant(
+    variant: str, seed: int = 0, horizon: int = 5
+) -> "tuple[TransmissionTimePredictor, str]":
+    """Build the (untrained) TTP for a named Fugu variant.
+
+    Recognized variants: ``full``, ``point_estimate``, ``throughput``,
+    ``linear``, ``no_tcp``, ``no_rtt``, ``no_cwnd``, ``no_in_flight``,
+    ``no_delivery_rate``, ``shallow``.
+    """
+    configs = {
+        "full": TtpConfig(horizon=horizon),
+        "point_estimate": TtpConfig(horizon=horizon, point_estimate=True),
+        "throughput": TtpConfig(horizon=horizon, predict_throughput=True),
+        "linear": TtpConfig(horizon=horizon, hidden=()),
+        "shallow": TtpConfig(horizon=horizon, hidden=(64,)),
+        "no_tcp": TtpConfig(horizon=horizon, ablated_features=frozenset({"tcp"})),
+        "no_rtt": TtpConfig(
+            horizon=horizon, ablated_features=frozenset({"rtt", "min_rtt"})
+        ),
+        "no_cwnd": TtpConfig(horizon=horizon, ablated_features=frozenset({"cwnd"})),
+        "no_in_flight": TtpConfig(
+            horizon=horizon, ablated_features=frozenset({"in_flight"})
+        ),
+        "no_delivery_rate": TtpConfig(
+            horizon=horizon, ablated_features=frozenset({"delivery_rate"})
+        ),
+    }
+    if variant not in configs:
+        raise ValueError(
+            f"unknown Fugu variant {variant!r}; choose from {sorted(configs)}"
+        )
+    predictor = TransmissionTimePredictor(configs[variant], seed=seed)
+    name = "fugu" if variant == "full" else f"fugu_{variant}"
+    return predictor, name
+
+
+def make_fugu(
+    variant: str = "full",
+    predictor: Optional[TransmissionTimePredictor] = None,
+    seed: int = 0,
+    horizon: int = 5,
+    qoe: QoeParams = DEFAULT_QOE,
+) -> Fugu:
+    """Construct a Fugu scheme, optionally around an existing predictor."""
+    if predictor is None:
+        predictor, name = make_fugu_variant(variant, seed=seed, horizon=horizon)
+    else:
+        name = "fugu" if variant == "full" else f"fugu_{variant}"
+    return Fugu(predictor, qoe=qoe, name=name)

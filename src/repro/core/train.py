@@ -1,0 +1,239 @@
+"""TTP training pipeline (§4.3).
+
+"Puffer collects training data by saving client telemetry from real usage
+... We train the TTP with standard supervised learning: the training
+minimizes the cross-entropy loss between the output probability distribution
+and the discretized actual transmission time using stochastic gradient
+descent. We retrain the TTP every day, using training data collected on
+Puffer over the prior 14 days ... Within the 14-day window, we weight more
+recent days more heavily ... The weights from the previous day's model are
+loaded to warm-start the retraining."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ttp import TransmissionTimePredictor
+from repro.learn.losses import SoftmaxCrossEntropy
+from repro.learn.optim import Adam
+from repro.learn.training import Dataset, Trainer, TrainingReport
+
+if TYPE_CHECKING:  # typing only; avoids a circular import with streaming
+    from repro.streaming.session import StreamResult
+
+RETRAIN_WINDOW_DAYS = 14
+"""Days of telemetry used per retraining (§4.3)."""
+
+RECENCY_DECAY = 0.9
+"""Per-day-of-age multiplier on sample weights within the window."""
+
+
+def build_ttp_datasets(
+    streams: Sequence[StreamResult],
+    predictor: TransmissionTimePredictor,
+    sample_weight: float = 1.0,
+) -> List[Dataset]:
+    """Turn stream telemetry into one supervised dataset per horizon step.
+
+    For horizon step ``k``, each example pairs (a) the features available
+    when chunk ``i`` was decided — history of the preceding chunks plus the
+    ``tcp_info`` snapshot — combined with the *size of chunk i+k*, and
+    (b) the discretized actual transmission time of chunk ``i+k``.
+    """
+    horizon = predictor.config.horizon
+    features: List[List[np.ndarray]] = [[] for _ in range(horizon)]
+    labels: List[List[int]] = [[] for _ in range(horizon)]
+    for stream in streams:
+        records = stream.records
+        for i in range(len(records)):
+            history = records[:i]
+            info = records[i].info_at_send
+            max_k = min(horizon, len(records) - i)
+            if max_k <= 0:
+                continue
+            sizes = np.array(
+                [records[i + k].size_bytes for k in range(max_k)]
+            )
+            rows = predictor.masked_features(history, info, sizes)
+            for k in range(max_k):
+                features[k].append(rows[k])
+                labels[k].append(predictor.label_for(records[i + k]))
+    datasets: List[Dataset] = []
+    for k in range(horizon):
+        if not features[k]:
+            raise ValueError(
+                f"no training examples for horizon step {k}; need longer streams"
+            )
+        x = np.vstack(features[k])
+        y = np.asarray(labels[k], dtype=int)
+        w = np.full(len(y), float(sample_weight))
+        datasets.append(Dataset(x, y, w))
+    return datasets
+
+
+@dataclass
+class TtpEvaluation:
+    """Held-out accuracy figures, the Fig. 7 metrics."""
+
+    cross_entropy: float
+    bin_accuracy: float
+    expected_abs_error_s: float
+    n_examples: int
+
+
+class TtpTrainer:
+    """Supervised trainer for all horizon steps of one TTP."""
+
+    def __init__(
+        self,
+        predictor: TransmissionTimePredictor,
+        epochs: int = 20,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.predictor = predictor
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def train(
+        self,
+        datasets: Sequence[Dataset],
+        validation: Optional[Sequence[Dataset]] = None,
+    ) -> List[TrainingReport]:
+        """Train each horizon step's network on its dataset. Training always
+        warm-starts from the predictor's current weights (a fresh predictor
+        has random weights; a day-old one continues from yesterday)."""
+        if len(datasets) != self.predictor.config.horizon:
+            raise ValueError("need one dataset per horizon step")
+        reports: List[TrainingReport] = []
+        for k, dataset in enumerate(datasets):
+            trainer = Trainer(
+                self.predictor.models[k],
+                SoftmaxCrossEntropy(),
+                optimizer=Adam(self.predictor.models[k], lr=self.learning_rate),
+                batch_size=self.batch_size,
+                epochs=self.epochs,
+                seed=self.seed + k,
+            )
+            val = validation[k] if validation is not None else None
+            reports.append(trainer.fit(dataset, validation=val))
+        return reports
+
+    def evaluate(self, dataset: Dataset, step: int = 0) -> TtpEvaluation:
+        """Fig. 7 metrics on held-out data for one horizon step."""
+        model = self.predictor.models[step]
+        probs = model.predict_proba(dataset.features)
+        y = np.asarray(dataset.targets, dtype=int)
+        n = len(y)
+        eps = 1e-12
+        cross_entropy = float(-np.log(probs[np.arange(n), y] + eps).mean())
+        if self.predictor.config.point_estimate:
+            # The ML variant predicts only its modal bin.
+            predicted = probs.argmax(axis=1)
+            accuracy = float((predicted == y).mean())
+        else:
+            accuracy = float((probs.argmax(axis=1) == y).mean())
+        centers = (
+            self.predictor._tput_centers
+            if self.predictor.config.predict_throughput
+            else self.predictor._time_centers
+        )
+        if self.predictor.config.point_estimate:
+            point = centers[probs.argmax(axis=1)]
+            expected_err = float(np.abs(point - centers[y]).mean())
+        else:
+            expected_err = float(
+                (probs * np.abs(centers[None, :] - centers[y][:, None])).sum(
+                    axis=1
+                ).mean()
+            )
+        if self.predictor.config.predict_throughput:
+            # Convert throughput error to a comparable relative scale.
+            expected_err = expected_err / float(np.mean(centers[y]))
+        return TtpEvaluation(
+            cross_entropy=cross_entropy,
+            bin_accuracy=accuracy,
+            expected_abs_error_s=expected_err,
+            n_examples=n,
+        )
+
+
+class DailyRetrainer:
+    """The in-situ daily retraining loop (§4.3).
+
+    Holds a sliding window of per-day telemetry, weights recent days more
+    heavily, and retrains the predictor warm-started from the previous day's
+    weights. Snapshots can be taken to reproduce the "out-of-date TTP"
+    staleness experiment (§4.6).
+    """
+
+    def __init__(
+        self,
+        predictor: TransmissionTimePredictor,
+        window_days: int = RETRAIN_WINDOW_DAYS,
+        recency_decay: float = RECENCY_DECAY,
+        epochs_per_day: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if window_days <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < recency_decay <= 1.0:
+            raise ValueError("recency decay must lie in (0, 1]")
+        self.predictor = predictor
+        self.window_days = window_days
+        self.recency_decay = recency_decay
+        self.epochs_per_day = epochs_per_day
+        self.seed = seed
+        self._days: Deque[Tuple[int, List[StreamResult]]] = deque(
+            maxlen=window_days
+        )
+        self._day_counter = 0
+        self.snapshots: Dict[int, TransmissionTimePredictor] = {}
+
+    @property
+    def current_day(self) -> int:
+        return self._day_counter
+
+    def add_day(self, streams: Sequence[StreamResult]) -> None:
+        """Ingest one day of telemetry."""
+        self._day_counter += 1
+        self._days.append((self._day_counter, list(streams)))
+
+    def retrain(self) -> List[TrainingReport]:
+        """Retrain on the window, recency-weighted, warm-started."""
+        if not self._days:
+            raise RuntimeError("no telemetry ingested yet")
+        per_step: List[List[Dataset]] = [
+            [] for _ in range(self.predictor.config.horizon)
+        ]
+        for day, streams in self._days:
+            age = self._day_counter - day
+            weight = self.recency_decay**age
+            if not streams:
+                continue
+            day_sets = build_ttp_datasets(
+                streams, self.predictor, sample_weight=weight
+            )
+            for k, ds in enumerate(day_sets):
+                per_step[k].append(ds)
+        datasets = [Dataset.concatenate(parts) for parts in per_step]
+        trainer = TtpTrainer(
+            self.predictor,
+            epochs=self.epochs_per_day,
+            seed=self.seed + self._day_counter,
+        )
+        return trainer.train(datasets)
+
+    def snapshot(self) -> TransmissionTimePredictor:
+        """Freeze a copy of today's model (an 'out-of-date' TTP later)."""
+        frozen = self.predictor.copy()
+        self.snapshots[self._day_counter] = frozen
+        return frozen

@@ -1,0 +1,234 @@
+"""The Transmission Time Predictor (TTP), §4.2–4.5.
+
+The TTP approximates the oracle the MPC controller needs: for a proposed
+chunk of a given size, a *probability distribution* over its transmission
+time, discretized into 21 bins. One fully-connected network (two hidden
+layers of 64) is trained per horizon step — "multiple networks in parallel
+are functionally equivalent to one that takes the future time step as a
+variable" (§4.2).
+
+The class also implements every ablated variant of §4.6 through
+:class:`TtpConfig`:
+
+* ``point_estimate`` — collapse the output distribution to its most likely
+  bin ("maximum likelihood" version);
+* ``predict_throughput`` — ignore the proposed chunk's size and predict a
+  throughput distribution instead, deriving time as size/throughput
+  ("Throughput Predictor");
+* ``hidden=()`` — the linear-regression model ("equivalent to a single-layer
+  neural network");
+* ``ablated_features`` — drop TCP statistics (RTT, CWND, in-flight,
+  delivery rate) or whole feature groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import TimeDistribution
+
+if TYPE_CHECKING:  # typing only; avoids circular imports
+    from repro.abr.base import AbrContext, ChunkRecord
+    from repro.streaming.session import StreamResult
+from repro.core.features import (
+    FEATURE_DIM,
+    N_TIME_BINS,
+    PROPOSED_SIZE_INDEX,
+    TCP_FEATURE_INDEX,
+    TCP_SLICE,
+    TIME_HISTORY_SLICE,
+    SIZE_HISTORY_SLICE,
+    make_feature_matrix,
+    time_bin_centers,
+    time_bin_index,
+)
+from repro.learn.network import MLP
+from repro.net.tcp import TcpInfo
+
+N_THROUGHPUT_BINS = N_TIME_BINS
+THROUGHPUT_BIN_EDGES_BPS = np.geomspace(1e5, 2e8, N_THROUGHPUT_BINS + 1)
+
+
+def throughput_bin_index(throughput_bps: float) -> int:
+    """Discretize a throughput sample for the Throughput-Predictor ablation."""
+    if throughput_bps <= 0:
+        raise ValueError("throughput must be positive")
+    idx = int(np.searchsorted(THROUGHPUT_BIN_EDGES_BPS, throughput_bps) - 1)
+    return int(np.clip(idx, 0, N_THROUGHPUT_BINS - 1))
+
+
+def throughput_bin_centers_bps() -> np.ndarray:
+    """Geometric centers of the throughput bins."""
+    edges = THROUGHPUT_BIN_EDGES_BPS
+    return np.sqrt(edges[:-1] * edges[1:])
+
+
+@dataclass(frozen=True)
+class TtpConfig:
+    """Architecture and ablation switches for a TTP."""
+
+    horizon: int = 5
+    hidden: Tuple[int, ...] = (64, 64)
+    point_estimate: bool = False
+    predict_throughput: bool = False
+    ablated_features: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        valid = set(TCP_FEATURE_INDEX) | {"tcp", "history_sizes", "history_times"}
+        unknown = set(self.ablated_features) - valid
+        if unknown:
+            raise ValueError(f"unknown ablated features: {sorted(unknown)}")
+
+    @property
+    def n_output_bins(self) -> int:
+        return N_THROUGHPUT_BINS if self.predict_throughput else N_TIME_BINS
+
+    def feature_mask(self) -> np.ndarray:
+        """0/1 mask over the 22 input features; ablated columns are zeroed
+        at both training and inference time."""
+        mask = np.ones(FEATURE_DIM)
+        if "tcp" in self.ablated_features:
+            mask[TCP_SLICE] = 0.0
+        for name, index in TCP_FEATURE_INDEX.items():
+            if name in self.ablated_features:
+                mask[index] = 0.0
+        if "history_sizes" in self.ablated_features:
+            mask[SIZE_HISTORY_SLICE] = 0.0
+        if "history_times" in self.ablated_features:
+            mask[TIME_HISTORY_SLICE] = 0.0
+        if self.predict_throughput:
+            # The throughput predictor is blind to the proposed chunk size.
+            mask[PROPOSED_SIZE_INDEX] = 0.0
+        return mask
+
+
+class TransmissionTimePredictor:
+    """Per-horizon-step networks mapping features to a time distribution.
+
+    Implements the :class:`repro.core.controller.TransmissionTimeModel`
+    protocol, so it plugs straight into the value-iteration controller.
+    """
+
+    def __init__(self, config: TtpConfig = TtpConfig(), seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.models: List[MLP] = [
+            MLP(FEATURE_DIM, list(config.hidden), config.n_output_bins, rng=rng)
+            for _ in range(config.horizon)
+        ]
+        self._mask = config.feature_mask()
+        self._time_centers = time_bin_centers()
+        self._tput_centers = throughput_bin_centers_bps()
+
+    # ------------------------------------------------------------------
+    # Tail calibration
+    # ------------------------------------------------------------------
+    @property
+    def tail_center_s(self) -> float:
+        """Representative transmission time of the open [9.75, ∞) bin."""
+        return float(self._time_centers[-1])
+
+    def calibrate_tail(
+        self, streams: "Sequence[StreamResult]", cap_s: float = 60.0
+    ) -> float:
+        """Set the tail bin's representative time to the empirical mean of
+        observed tail transmission times.
+
+        Times in the open-ended last bin are heavy-tailed (deep fades); a
+        fixed small center would make the planner ignore them against the
+        µ=100 stall weight. Learning the conditional mean *in situ* keeps
+        the expected-stall arithmetic honest for the actual deployment.
+        """
+        tail_times = [
+            min(record.transmission_time, cap_s)
+            for stream in streams
+            for record in stream.records
+            if record.transmission_time >= 9.75
+        ]
+        if tail_times:
+            self._time_centers[-1] = max(float(np.mean(tail_times)), 10.0)
+        return self.tail_center_s
+
+    # ------------------------------------------------------------------
+    # Label construction
+    # ------------------------------------------------------------------
+    def label_for(self, record: ChunkRecord) -> int:
+        """Training label for one observed chunk."""
+        if self.config.predict_throughput:
+            return throughput_bin_index(record.observed_throughput_bps)
+        return time_bin_index(record.transmission_time)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def masked_features(
+        self,
+        history: Sequence[ChunkRecord],
+        info: TcpInfo,
+        sizes_bytes: np.ndarray,
+    ) -> np.ndarray:
+        return make_feature_matrix(history, info, sizes_bytes) * self._mask
+
+    def distribution(
+        self,
+        history: Sequence[ChunkRecord],
+        info: TcpInfo,
+        sizes_bytes: np.ndarray,
+        step: int = 0,
+    ) -> TimeDistribution:
+        """Transmission-time distribution per candidate size."""
+        if not 0 <= step < self.config.horizon:
+            raise ValueError(f"step must lie in [0, {self.config.horizon})")
+        sizes_bytes = np.asarray(sizes_bytes, dtype=float)
+        features = self.masked_features(history, info, sizes_bytes)
+        probs = self.models[step].predict_proba(features)
+        if self.config.predict_throughput:
+            # times[a, j] = size_a / throughput_center_j
+            times = sizes_bytes[:, None] * 8.0 / self._tput_centers[None, :]
+        else:
+            times = np.tile(self._time_centers, (len(sizes_bytes), 1))
+        if self.config.point_estimate:
+            best = probs.argmax(axis=1)
+            times = times[np.arange(len(sizes_bytes)), best][:, None]
+            probs = np.ones_like(times)
+        return TimeDistribution(times=times, probs=probs)
+
+    def predict(
+        self, context: AbrContext, step: int, sizes_bytes: np.ndarray
+    ) -> TimeDistribution:
+        """TransmissionTimeModel protocol entry point for the controller."""
+        return self.distribution(
+            context.history, context.tcp_info, sizes_bytes, step=step
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "config": {
+                "horizon": self.config.horizon,
+                "hidden": list(self.config.hidden),
+                "point_estimate": self.config.point_estimate,
+                "predict_throughput": self.config.predict_throughput,
+                "ablated_features": sorted(self.config.ablated_features),
+            },
+            "models": [m.state_dict() for m in self.models],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        saved = state["models"]
+        if len(saved) != len(self.models):
+            raise ValueError("horizon mismatch while loading TTP state")
+        for model, model_state in zip(self.models, saved):
+            model.load_state_dict(model_state)
+
+    def copy(self) -> "TransmissionTimePredictor":
+        clone = TransmissionTimePredictor(self.config)
+        clone.load_state_dict(self.state_dict())
+        return clone

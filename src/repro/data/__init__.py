@@ -1,0 +1,22 @@
+"""Open-data archive tooling (Appendix B).
+
+Puffer "publish[es] an archive of traces and results each day": CSV tables
+``video_sent``, ``video_acked`` and ``client_buffer``, with sensitive
+fields redacted. This package writes the simulator's telemetry in that
+format and loads it back for analysis, so analysis code is exercised
+against the same interchange format a consumer of the real archive uses.
+"""
+
+from repro.data.archive import (
+    ArchiveDay,
+    load_archive_day,
+    reconstruct_streams,
+    write_archive_day,
+)
+
+__all__ = [
+    "ArchiveDay",
+    "write_archive_day",
+    "load_archive_day",
+    "reconstruct_streams",
+]

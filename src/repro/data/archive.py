@@ -1,0 +1,217 @@
+"""Writing and reading the daily open-data archive (Appendix B).
+
+Each archive day is a directory of three CSV files:
+
+* ``video_sent.csv`` — time, stream_id, expt_id, chunk_index, size,
+  ssim_index, cwnd, in_flight, min_rtt, rtt, delivery_rate;
+* ``video_acked.csv`` — time, stream_id, expt_id, chunk_index;
+* ``client_buffer.csv`` — time, stream_id, expt_id, event, buffer,
+  cum_rebuf.
+
+The column sets match the fields the paper describes for the public data
+(IP addresses and user ids are redacted in the real archive; the simulator
+never produces them). :func:`reconstruct_streams` performs the join a
+downstream analyst performs: sent ⋈ acked on (stream_id, chunk_index)
+recovers per-chunk transmission times, and ``client_buffer`` yields stall
+accounting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.streaming.telemetry import (
+    BufferEvent,
+    ClientBufferRecord,
+    TelemetryLog,
+    VideoAckedRecord,
+    VideoSentRecord,
+)
+
+_SENT_COLUMNS = [
+    "time", "stream_id", "expt_id", "chunk_index", "size", "ssim_index",
+    "cwnd", "in_flight", "min_rtt", "rtt", "delivery_rate",
+]
+_ACKED_COLUMNS = ["time", "stream_id", "expt_id", "chunk_index"]
+_BUFFER_COLUMNS = [
+    "time", "stream_id", "expt_id", "event", "buffer", "cum_rebuf",
+]
+
+
+@dataclass(frozen=True)
+class ArchiveDay:
+    """Paths of one day's archive files."""
+
+    directory: Path
+    video_sent: Path
+    video_acked: Path
+    client_buffer: Path
+
+    @classmethod
+    def in_directory(cls, directory: Union[str, Path]) -> "ArchiveDay":
+        directory = Path(directory)
+        return cls(
+            directory=directory,
+            video_sent=directory / "video_sent.csv",
+            video_acked=directory / "video_acked.csv",
+            client_buffer=directory / "client_buffer.csv",
+        )
+
+
+def write_archive_day(
+    telemetry: TelemetryLog, directory: Union[str, Path]
+) -> ArchiveDay:
+    """Write one day of telemetry as the three-table CSV archive."""
+    day = ArchiveDay.in_directory(directory)
+    day.directory.mkdir(parents=True, exist_ok=True)
+
+    with open(day.video_sent, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_SENT_COLUMNS)
+        writer.writeheader()
+        for record in telemetry.video_sent:
+            writer.writerow(record.to_dict())
+
+    with open(day.video_acked, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_ACKED_COLUMNS)
+        writer.writeheader()
+        for record in telemetry.video_acked:
+            writer.writerow(record.to_dict())
+
+    with open(day.client_buffer, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_BUFFER_COLUMNS)
+        writer.writeheader()
+        for record in telemetry.client_buffer:
+            writer.writerow(record.to_dict())
+
+    return day
+
+
+def _require_columns(path: Path, header: List[str], expected: List[str]) -> None:
+    if header != expected:
+        raise ValueError(
+            f"{path}: unexpected columns {header}; expected {expected}"
+        )
+
+
+def load_archive_day(directory: Union[str, Path]) -> TelemetryLog:
+    """Load one day's archive back into a :class:`TelemetryLog`."""
+    day = ArchiveDay.in_directory(directory)
+    for path in (day.video_sent, day.video_acked, day.client_buffer):
+        if not path.exists():
+            raise FileNotFoundError(f"missing archive table: {path}")
+    telemetry = TelemetryLog()
+
+    with open(day.video_sent, newline="") as f:
+        reader = csv.DictReader(f)
+        _require_columns(day.video_sent, reader.fieldnames, _SENT_COLUMNS)
+        for row in reader:
+            telemetry.video_sent.append(
+                VideoSentRecord(
+                    time=float(row["time"]),
+                    stream_id=int(row["stream_id"]),
+                    expt_id=int(row["expt_id"]),
+                    chunk_index=int(row["chunk_index"]),
+                    size=float(row["size"]),
+                    ssim_index=float(row["ssim_index"]),
+                    cwnd=float(row["cwnd"]),
+                    in_flight=float(row["in_flight"]),
+                    min_rtt=float(row["min_rtt"]),
+                    rtt=float(row["rtt"]),
+                    delivery_rate=float(row["delivery_rate"]),
+                )
+            )
+
+    with open(day.video_acked, newline="") as f:
+        reader = csv.DictReader(f)
+        _require_columns(day.video_acked, reader.fieldnames, _ACKED_COLUMNS)
+        for row in reader:
+            telemetry.video_acked.append(
+                VideoAckedRecord(
+                    time=float(row["time"]),
+                    stream_id=int(row["stream_id"]),
+                    expt_id=int(row["expt_id"]),
+                    chunk_index=int(row["chunk_index"]),
+                )
+            )
+
+    with open(day.client_buffer, newline="") as f:
+        reader = csv.DictReader(f)
+        _require_columns(day.client_buffer, reader.fieldnames, _BUFFER_COLUMNS)
+        for row in reader:
+            telemetry.client_buffer.append(
+                ClientBufferRecord(
+                    time=float(row["time"]),
+                    stream_id=int(row["stream_id"]),
+                    expt_id=int(row["expt_id"]),
+                    event=BufferEvent(row["event"]),
+                    buffer=float(row["buffer"]),
+                    cum_rebuf=float(row["cum_rebuf"]),
+                )
+            )
+    return telemetry
+
+
+@dataclass
+class ArchivedStream:
+    """Per-stream view reconstructed from the archive tables."""
+
+    stream_id: int
+    expt_id: int
+    chunk_transmission_times: Dict[int, float]
+    chunk_sizes: Dict[int, float]
+    chunk_ssim_indices: Dict[int, float]
+    total_stall_s: float
+
+    @property
+    def n_chunks_acked(self) -> int:
+        return len(self.chunk_transmission_times)
+
+    def observed_throughputs_bps(self) -> List[float]:
+        return [
+            self.chunk_sizes[i] * 8.0 / t
+            for i, t in self.chunk_transmission_times.items()
+            if t > 0 and i in self.chunk_sizes
+        ]
+
+
+def reconstruct_streams(telemetry: TelemetryLog) -> Dict[int, ArchivedStream]:
+    """The analyst's join: sent ⋈ acked per stream, plus stall totals."""
+    sent_by_key: Dict[Tuple[int, int], VideoSentRecord] = {}
+    expt_by_stream: Dict[int, int] = {}
+    for record in telemetry.video_sent:
+        sent_by_key[(record.stream_id, record.chunk_index)] = record
+        expt_by_stream[record.stream_id] = record.expt_id
+
+    streams: Dict[int, ArchivedStream] = {}
+
+    def stream_for(stream_id: int) -> ArchivedStream:
+        if stream_id not in streams:
+            streams[stream_id] = ArchivedStream(
+                stream_id=stream_id,
+                expt_id=expt_by_stream.get(stream_id, -1),
+                chunk_transmission_times={},
+                chunk_sizes={},
+                chunk_ssim_indices={},
+                total_stall_s=0.0,
+            )
+        return streams[stream_id]
+
+    for acked in telemetry.video_acked:
+        sent = sent_by_key.get((acked.stream_id, acked.chunk_index))
+        if sent is None:
+            continue  # chunk never fully delivered before the viewer left
+        stream = stream_for(acked.stream_id)
+        stream.chunk_transmission_times[acked.chunk_index] = (
+            acked.time - sent.time
+        )
+        stream.chunk_sizes[acked.chunk_index] = sent.size
+        stream.chunk_ssim_indices[acked.chunk_index] = sent.ssim_index
+
+    for record in telemetry.client_buffer:
+        stream = stream_for(record.stream_id)
+        stream.total_stall_s = max(stream.total_stall_s, record.cum_rebuf)
+
+    return streams

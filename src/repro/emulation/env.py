@@ -1,0 +1,141 @@
+"""Mahimahi-style emulation environment (§5.2, Fig. 11).
+
+Reconstructs the paper's emulation testbed: "Each mahimahi shell imposed a
+40 ms end-to-end delay on traffic originating inside it and limited the
+downlink capacity over time to match the capacity recorded in a set of FCC
+broadband network traces ... clients ... would play a 10 minute clip
+recorded on NBC over each network trace."
+
+The environment runs any ABR scheme over each trace and can generate
+TTP training data, producing the *emulation-trained Fugu* whose collapse in
+deployment is the paper's starkest result (Fig. 11, middle panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.abr.base import AbrAlgorithm
+from repro.abr.bba import BBA
+from repro.abr.mpc import MpcHm
+from repro.core.fugu import Fugu
+from repro.core.train import TtpTrainer, build_ttp_datasets
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+from repro.media.chunk import ChunkMenu
+from repro.media.encoder import VbrEncoder
+from repro.media.source import DEFAULT_CHANNELS, VideoSource
+from repro.net.link import TraceLink
+from repro.net.tcp import TcpConnection
+from repro.streaming.session import StreamResult
+from repro.streaming.simulator import simulate_stream
+from repro.traces.fcc import FccTraceConfig, generate_fcc_dataset
+
+EMULATION_DELAY_S = 0.040
+"""One-way mahimahi shell delay: 40 ms end-to-end (§5.2)."""
+
+CLIP_MINUTES = 10.0
+"""Length of the recorded NBC clip the emulated clients replay."""
+
+
+@dataclass
+class EmulationEnvironment:
+    """FCC traces + 40 ms delay shells + a fixed 10-minute NBC clip.
+
+    Parameters
+    ----------
+    n_traces:
+        Number of synthetic FCC traces (the paper used >15 hours of traces).
+    trace_config:
+        FCC generator settings (0.2–6 Mbit/s means, 12 Mbit/s cap).
+    seed:
+        Controls trace synthesis and the recorded clip.
+    """
+
+    n_traces: int = 30
+    trace_config: FccTraceConfig = field(default_factory=FccTraceConfig)
+    seed: int = 0
+    _traces: List[List[float]] = field(default_factory=list, repr=False)
+    _clip: List[ChunkMenu] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_traces <= 0:
+            raise ValueError("need at least one trace")
+        self._traces = generate_fcc_dataset(
+            self.n_traces, self.trace_config, seed=self.seed
+        )
+        rng = np.random.default_rng(self.seed + 2)
+        nbc = DEFAULT_CHANNELS[2]  # the clip was recorded on NBC
+        source = VideoSource(nbc, rng=rng)
+        encoder = VbrEncoder(rng=rng)
+        n_chunks = int(CLIP_MINUTES * 60.0 / 2.002)
+        self._clip = encoder.encode_source(source, n_chunks)
+
+    @property
+    def traces(self) -> List[List[float]]:
+        return self._traces
+
+    @property
+    def clip(self) -> List[ChunkMenu]:
+        return self._clip
+
+    def run_scheme(
+        self,
+        algorithm: AbrAlgorithm,
+        runs_per_trace: int = 1,
+        seed: int = 0,
+    ) -> List[StreamResult]:
+        """Play the clip over every trace; returns one result per run.
+
+        The emulator's defining property versus the real deployment: *the
+        same conditions replay identically for every scheme* — no play of
+        chance in which network a scheme happens to draw (§5.3).
+        """
+        results: List[StreamResult] = []
+        clip_duration = len(self._clip) * self._clip[0].duration
+        for trace_i, trace in enumerate(self._traces):
+            for run in range(runs_per_trace):
+                link = TraceLink(trace, epoch=self.trace_config.epoch_s, loop=True)
+                connection = TcpConnection(
+                    link,
+                    base_rtt=2 * EMULATION_DELAY_S,
+                    loss_rng=np.random.default_rng(seed + trace_i * 131 + run),
+                )
+                result = simulate_stream(
+                    iter(self._clip),
+                    algorithm,
+                    connection,
+                    watch_time_s=clip_duration * 3.0,  # watch the whole clip
+                    stream_id=trace_i * 1000 + run,
+                )
+                result.scheme_name = algorithm.name
+                results.append(result)
+        return results
+
+
+def train_fugu_in_emulation(
+    env: Optional[EmulationEnvironment] = None,
+    ttp_config: TtpConfig = TtpConfig(),
+    epochs: int = 15,
+    iterations: int = 1,
+    seed: int = 0,
+) -> TransmissionTimePredictor:
+    """Produce "Emulation-trained Fugu" (Fig. 5 / Fig. 11): the same TTP
+    architecture, trained with supervised learning *in emulation* — on
+    telemetry collected inside the FCC-trace environment instead of the
+    deployment."""
+    if env is None:
+        env = EmulationEnvironment(seed=seed)
+    predictor = TransmissionTimePredictor(ttp_config, seed=seed)
+    streams = env.run_scheme(BBA(), seed=seed) + env.run_scheme(
+        MpcHm(), seed=seed + 1
+    )
+    trainer = TtpTrainer(predictor, epochs=epochs, seed=seed)
+    trainer.train(build_ttp_datasets(streams, predictor))
+    for iteration in range(iterations):
+        on_policy = env.run_scheme(Fugu(predictor), seed=seed + 100 + iteration)
+        streams = streams + on_policy
+        trainer.train(build_ttp_datasets(streams, predictor))
+    return predictor

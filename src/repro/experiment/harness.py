@@ -1,0 +1,217 @@
+"""The randomized controlled trial harness (§3.4).
+
+Reproduces Puffer's experimental design: each *session* (one visit to the
+player) is randomly assigned, blinded, to one scheme; a session may contain
+several *streams* (channel changes keep the TCP connection and the assigned
+algorithm, Fig. A1); client telemetry is recorded; exclusions follow the
+CONSORT flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiment.consort import (
+    ConsortFlow,
+    classify_stream,
+    eligible_streams,
+)
+from repro.experiment.schemes import SchemeSpec
+from repro.experiment.watch import ViewerModel
+from repro.media.encoder import VbrEncoder
+from repro.media.source import DEFAULT_CHANNELS, Channel, VideoSource
+from repro.net.path import PathSampler, PopulationModel
+from repro.streaming.session import StreamResult
+from repro.streaming.simulator import simulate_stream
+from repro.streaming.telemetry import TelemetryLog
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Scale and environment knobs for one randomized trial."""
+
+    n_sessions: int = 500
+    seed: int = 0
+    population: PopulationModel = field(default_factory=PopulationModel)
+    viewer: ViewerModel = field(default_factory=ViewerModel)
+    channels: Sequence[Channel] = tuple(DEFAULT_CHANNELS)
+    extra_stream_prob: float = 0.55
+    max_streams_per_session: int = 8
+    slow_decoder_prob: float = 0.0002
+    loss_of_contact_prob: float = 0.01
+    collect_telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_sessions <= 0:
+            raise ValueError("n_sessions must be positive")
+        if not 0.0 <= self.extra_stream_prob < 1.0:
+            raise ValueError("extra_stream_prob must lie in [0, 1)")
+        if self.max_streams_per_session < 1:
+            raise ValueError("sessions contain at least one stream")
+
+
+@dataclass
+class SessionResult:
+    """All streams of one randomized session."""
+
+    session_id: int
+    scheme: str
+    expt_id: int
+    streams: List[StreamResult] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Total time on the video player (Fig. 10's x-axis)."""
+        return sum(stream.total_time for stream in self.streams)
+
+
+@dataclass
+class TrialResult:
+    """Outcome of a randomized trial."""
+
+    sessions: List[SessionResult]
+    consort: ConsortFlow
+    scheme_names: List[str]
+    expt_ids: Dict[str, int]
+    telemetry: Optional[TelemetryLog] = None
+
+    def sessions_for(self, scheme: str) -> List[SessionResult]:
+        return [s for s in self.sessions if s.scheme == scheme]
+
+    def all_streams_for(self, scheme: str) -> List[StreamResult]:
+        return [
+            stream
+            for session in self.sessions_for(scheme)
+            for stream in session.streams
+        ]
+
+    def streams_for(self, scheme: str) -> List[StreamResult]:
+        """Streams eligible for the primary analysis (played >= 4 s)."""
+        return eligible_streams(self.all_streams_for(scheme))
+
+    def session_durations_for(self, scheme: str) -> List[float]:
+        return [s.duration for s in self.sessions_for(scheme)]
+
+
+class RandomizedTrial:
+    """Run a blinded randomized comparison of a set of schemes.
+
+    One algorithm instance per scheme is built up front and reused across
+    its sessions (``begin_stream`` resets per-stream state); the *viewer*
+    cannot observe which scheme serves them — assignment is a uniform draw
+    keyed only by the session id, and ``expt_id`` is an opaque integer as in
+    the open data.
+    """
+
+    def __init__(self, specs: Sequence[SchemeSpec], config: TrialConfig) -> None:
+        if not specs:
+            raise ValueError("need at least one scheme")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("scheme names must be unique")
+        self.specs = list(specs)
+        self.config = config
+        self._algorithms = {spec.name: spec.build() for spec in self.specs}
+        # Blinding: expt_id is a shuffled opaque id, not the list position.
+        id_rng = np.random.default_rng(config.seed ^ 0x5EED)
+        ids = id_rng.permutation(len(self.specs)) + 1
+        self._expt_ids = {spec.name: int(ids[i]) for i, spec in enumerate(self.specs)}
+
+    def run(self) -> TrialResult:
+        config = self.config
+        consort = ConsortFlow()
+        sessions: List[SessionResult] = []
+        telemetry = TelemetryLog() if config.collect_telemetry else None
+
+        for session_id in range(config.n_sessions):
+            # Each session draws from its own generator, so one arm's
+            # behaviour (e.g., how long its streams run) cannot perturb the
+            # randomness any other session sees — arms are independent, as
+            # in the real trial where users arrive independently.
+            rng = np.random.default_rng((config.seed, session_id))
+            spec = self.specs[int(rng.integers(len(self.specs)))]
+            algorithm = self._algorithms[spec.name]
+            arm = consort.arm(spec.name)
+            arm.sessions_assigned += 1
+            session = SessionResult(
+                session_id=session_id,
+                scheme=spec.name,
+                expt_id=self._expt_ids[spec.name],
+            )
+
+            path = PathSampler(
+                population=config.population, seed=config.seed * 1_000_003 + session_id
+            ).next_path()
+            connection = path.connect(seed=session_id)
+            clock = 0.0  # connection time shared across the session's streams
+
+            n_streams = 1
+            while (
+                n_streams < config.max_streams_per_session
+                and rng.random() < config.extra_stream_prob
+            ):
+                n_streams += 1
+
+            for stream_no in range(n_streams):
+                kind = config.viewer.sample_stream_kind(rng)
+                watch = config.viewer.sample_watch_time(kind, rng)
+                channel = config.channels[int(rng.integers(len(config.channels)))]
+                media_rng = np.random.default_rng(
+                    (session_id * 31 + stream_no) * 2 + 1
+                )
+                source = VideoSource(channel, rng=media_rng)
+                encoder = VbrEncoder(rng=media_rng)
+                hook = (
+                    config.viewer.make_extension_hook(rng)
+                    if kind == "view"
+                    else None
+                )
+                stream_id = session_id * config.max_streams_per_session + stream_no
+                result = simulate_stream(
+                    encoder.stream(source),
+                    algorithm,
+                    connection,
+                    watch_time_s=watch,
+                    stream_id=stream_id,
+                    expt_id=session.expt_id,
+                    telemetry=telemetry,
+                    extension_hook=hook,
+                    start_time=clock,
+                )
+                result.scheme_name = spec.name
+                clock += result.total_time + float(rng.uniform(0.1, 2.0))
+                # A viewer may change channels while a chunk is still in
+                # flight; the connection must finish (or the kernel flush)
+                # before the next stream's first chunk goes out.
+                clock = max(clock, connection.busy_until + 1e-6)
+                session.streams.append(result)
+
+                arm.streams_assigned += 1
+                category = classify_stream(result)
+                if category == "considered" and rng.random() < config.slow_decoder_prob:
+                    result.excluded = True
+                    category = "slow_video_decoder"
+                if category == "did_not_begin":
+                    arm.did_not_begin += 1
+                elif category == "watch_time_under_4s":
+                    arm.watch_time_under_4s += 1
+                elif category == "slow_video_decoder":
+                    arm.slow_video_decoder += 1
+                else:
+                    arm.considered += 1
+                    arm.considered_watch_time_s += result.watch_time
+                    if rng.random() < config.loss_of_contact_prob:
+                        arm.truncated_loss_of_contact += 1
+            sessions.append(session)
+
+        consort.check()
+        return TrialResult(
+            sessions=sessions,
+            consort=consort,
+            scheme_names=[spec.name for spec in self.specs],
+            expt_ids=dict(self._expt_ids),
+            telemetry=telemetry,
+        )

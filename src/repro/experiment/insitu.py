@@ -1,0 +1,202 @@
+"""In-situ training orchestration — the paper's central recipe.
+
+"The simplest way to obtain representative training data is to learn in
+situ, on real data from the actual deployment environment" (§1). On Puffer,
+Fugu's TTP is trained on telemetry from the deployment itself and retrained
+daily. This module reproduces that loop against the simulated deployment:
+
+1. *bootstrap*: run the deployment with the pre-Fugu schemes (BBA, MPC-HM)
+   and collect telemetry;
+2. *train*: fit the TTP on the collected (features, transmission-time)
+   pairs;
+3. *iterate*: deploy Fugu itself, collect on-policy telemetry, retrain —
+   mirroring the daily retraining cycle in which most data comes from the
+   environment Fugu actually operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.abr.base import AbrAlgorithm
+from repro.abr.bba import BBA
+from repro.abr.mpc import MpcHm
+from repro.abr.pensieve import (
+    ActorCritic,
+    PensieveTrainer,
+    PensieveTrainingConfig,
+    SimpleChunkEnv,
+)
+from repro.core.fugu import Fugu
+from repro.core.train import TtpTrainer, build_ttp_datasets
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+from repro.experiment.consort import eligible_streams
+from repro.experiment.harness import TrialConfig
+from repro.media.encoder import VbrEncoder
+from repro.media.source import DEFAULT_CHANNELS, VideoSource
+from repro.net.path import PathSampler
+from repro.streaming.session import StreamResult
+from repro.streaming.simulator import simulate_stream
+from repro.traces import generate_fcc_dataset
+
+import numpy as np
+
+
+def deploy_and_collect(
+    algorithms: Sequence[AbrAlgorithm],
+    n_streams: int,
+    seed: int,
+    config: Optional[TrialConfig] = None,
+    watch_time_s: float = 240.0,
+) -> List[StreamResult]:
+    """Run a round-robin deployment of ``algorithms`` and return the
+    eligible streams — the telemetry-collection half of the in-situ loop.
+
+    A lighter-weight path than the full RCT harness: every stream is a
+    "view" of fixed length so the collected dataset is dense.
+    """
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    if n_streams <= 0:
+        raise ValueError("n_streams must be positive")
+    population = config.population if config is not None else TrialConfig().population
+    results: List[StreamResult] = []
+    for i in range(n_streams):
+        algorithm = algorithms[i % len(algorithms)]
+        stream_seed = seed * 1_000_003 + i
+        rng = np.random.default_rng(stream_seed)
+        channel = DEFAULT_CHANNELS[i % len(DEFAULT_CHANNELS)]
+        source = VideoSource(channel, rng=rng)
+        encoder = VbrEncoder(rng=rng)
+        path = PathSampler(population=population, seed=stream_seed).next_path()
+        connection = path.connect(seed=stream_seed)
+        result = simulate_stream(
+            encoder.stream(source),
+            algorithm,
+            connection,
+            watch_time_s=watch_time_s,
+            stream_id=i,
+        )
+        results.append(result)
+    return eligible_streams(results)
+
+
+@dataclass
+class InSituTrainingConfig:
+    """Knobs for the bootstrap-and-iterate training loop."""
+
+    bootstrap_streams: int = 120
+    iteration_streams: int = 120
+    iterations: int = 2
+    epochs: int = 15
+    watch_time_s: float = 240.0
+    ttp_config: TtpConfig = field(default_factory=TtpConfig)
+    seed: int = 0
+
+
+def train_fugu_in_situ(
+    config: InSituTrainingConfig = InSituTrainingConfig(),
+    trial_config: Optional[TrialConfig] = None,
+) -> TransmissionTimePredictor:
+    """Produce a deployment-trained TTP (the "Fugu" arm of the experiments).
+
+    Returns the trained predictor; wrap it with
+    :class:`repro.core.fugu.Fugu` to obtain the scheme.
+    """
+    predictor = TransmissionTimePredictor(config.ttp_config, seed=config.seed)
+    bootstrap_schemes: List[AbrAlgorithm] = [BBA(), MpcHm()]
+    streams = deploy_and_collect(
+        bootstrap_schemes,
+        config.bootstrap_streams,
+        seed=config.seed,
+        config=trial_config,
+        watch_time_s=config.watch_time_s,
+    )
+    all_streams = list(streams)
+    predictor.calibrate_tail(all_streams)
+    trainer = TtpTrainer(predictor, epochs=config.epochs, seed=config.seed)
+    trainer.train(build_ttp_datasets(all_streams, predictor))
+    for iteration in range(config.iterations):
+        fugu = Fugu(predictor)
+        on_policy = deploy_and_collect(
+            [fugu],
+            config.iteration_streams,
+            seed=config.seed + 7919 * (iteration + 1),
+            config=trial_config,
+            watch_time_s=config.watch_time_s,
+        )
+        all_streams.extend(on_policy)
+        predictor.calibrate_tail(all_streams)
+        trainer.train(build_ttp_datasets(all_streams, predictor))
+    return predictor
+
+
+def _greedy_simulation_score(
+    model: ActorCritic, traces, chunks_per_episode: int, seed: int
+) -> float:
+    """Mean greedy-episode QoE of a policy on held-out simulator traces."""
+    env = SimpleChunkEnv(traces, chunks_per_episode=chunks_per_episode, seed=seed)
+    total = 0.0
+    n_episodes = max(len(traces), 10)
+    for _ in range(n_episodes):
+        state = env.reset()
+        done = False
+        while not done:
+            state, reward, done = env.step(model.act(state, greedy=True))
+            total += reward
+    return total / n_episodes
+
+
+def train_pensieve_in_simulation(
+    episodes: int = 800,
+    n_traces: int = 40,
+    seed: int = 0,
+    chunks_per_episode: int = 100,
+    n_candidates: int = 6,
+) -> ActorCritic:
+    """Train the Pensieve policy the way the original was trained: RL in a
+    chunk-level simulator over broadband-style traces (§3.3).
+
+    The trace band spans the full 12 Mbit/s mahimahi cap. Policy-gradient
+    training is high-variance across seeds, and the paper reports that the
+    Pensieve authors' recommended procedure was to train several multi-video
+    models (with entropy tuning) and select the best ("We wrote an automated
+    tool to train 6 different models ... then selected the model with the
+    best performance"). We reproduce that: ``n_candidates`` seeds are
+    trained and the best by greedy QoE on held-out simulator traces wins.
+    """
+    if n_candidates <= 0:
+        raise ValueError("need at least one candidate")
+    from repro.traces.fcc import FccTraceConfig
+
+    trace_config = FccTraceConfig(max_mean_bps=12e6)
+    traces = generate_fcc_dataset(n_traces, trace_config, seed=seed)
+    # Selection mirrors the authors testing candidates "manually over a few
+    # real networks" — which are far faster than the FCC training band, so
+    # the holdout draws from the upper part of the range.
+    holdout_config = FccTraceConfig(min_mean_bps=2e6, max_mean_bps=12e6)
+    holdout = generate_fcc_dataset(
+        max(n_traces // 2, 5), holdout_config, seed=seed + 424_242
+    )
+    best_model: Optional[ActorCritic] = None
+    best_score = -np.inf
+    for candidate in range(n_candidates):
+        cand_seed = seed + 1000 * candidate
+        env = SimpleChunkEnv(
+            traces, chunks_per_episode=chunks_per_episode, seed=cand_seed
+        )
+        model = ActorCritic(seed=cand_seed)
+        PensieveTrainer(
+            model,
+            env,
+            PensieveTrainingConfig(episodes=episodes, seed=cand_seed),
+        ).train()
+        score = _greedy_simulation_score(
+            model, holdout, chunks_per_episode, seed=cand_seed
+        )
+        if score > best_score:
+            best_score = score
+            best_model = model
+    assert best_model is not None
+    return best_model

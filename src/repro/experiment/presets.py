@@ -1,0 +1,50 @@
+"""Scale presets for the randomized trial.
+
+The paper's primary experiment is enormous (337,170 sessions, 8.5
+stream-years considered). Simulating it verbatim is possible but slow, so
+the harness ships three calibrated presets:
+
+* ``smoke_trial_config`` — seconds; CI and unit tests.
+* ``bench_trial_config`` — minutes; the default for the figure benchmarks
+  (wide-but-honest confidence intervals, per §3.4).
+* ``paper_scale_trial_config`` — hours; the paper's session count and
+  time-scale viewer model, for when the fidelity of the statistical claims
+  themselves is under study.
+"""
+
+from __future__ import annotations
+
+from repro.experiment.harness import TrialConfig
+from repro.experiment.watch import PAPER_SCALE_VIEWER, ViewerModel
+
+PAPER_SESSIONS = 337_170
+"""Sessions randomized in the paper's primary experiment (Fig. A1)."""
+
+
+def smoke_trial_config(seed: int = 0) -> TrialConfig:
+    """Tiny trial for tests: ~50 sessions, short views."""
+    viewer = ViewerModel(
+        view_log_mean_s=3.9,  # ~50 s median views
+        view_log_sigma=0.8,
+        tail_threshold_s=600.0,
+        tail_block_s=120.0,
+    )
+    return TrialConfig(n_sessions=50, seed=seed, viewer=viewer)
+
+
+def bench_trial_config(n_sessions: int = 1200, seed: int = 42) -> TrialConfig:
+    """The benchmark default: enough streams for stable SSIM comparisons;
+    stall-ratio CIs remain wide — which the statistical benches then
+    quantify rather than hide."""
+    return TrialConfig(n_sessions=n_sessions, seed=seed)
+
+
+def paper_scale_trial_config(
+    n_sessions: int = PAPER_SESSIONS, seed: int = 0
+) -> TrialConfig:
+    """The paper's scale: its session count and the full-time-scale viewer
+    (mean session ~30 min, 2.5 h tail threshold). Expect hours of runtime
+    and ~8 stream-years of simulated viewing."""
+    return TrialConfig(
+        n_sessions=n_sessions, seed=seed, viewer=PAPER_SCALE_VIEWER
+    )

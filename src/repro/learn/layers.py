@@ -1,0 +1,126 @@
+"""Differentiable layers.
+
+Each layer implements ``forward`` / ``backward`` with explicit caching of
+whatever the backward pass needs. Parameters and their gradients are exposed
+via ``parameters()`` as ``(name, value, grad)`` triples so optimizers can
+update them in place without knowing the layer's structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Layer:
+    """Base class for a differentiable module."""
+
+    def forward(self, x: Array) -> Array:
+        raise NotImplementedError
+
+    def backward(self, grad_out: Array) -> Array:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``, accumulating
+        parameter gradients along the way."""
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Tuple[str, Array, Array]]:
+        """Yield ``(name, value, grad)`` triples; value and grad are the
+        live arrays (mutated in place by optimizers)."""
+        return iter(())
+
+    def zero_grad(self) -> None:
+        for _, __, grad in self.parameters():
+            grad.fill(0.0)
+
+    def __call__(self, x: Array) -> Array:
+        return self.forward(x)
+
+
+class Linear(Layer):
+    """Fully-connected layer ``y = x W + b``.
+
+    Weights use He initialization, appropriate for the ReLU activations the
+    TTP uses; a seeded ``numpy.random.Generator`` may be supplied for
+    reproducible training runs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        scale = np.sqrt(2.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: Optional[Array] = None
+
+    def forward(self, x: Array) -> Array:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input width {self.in_features}, got {x.shape[1]}"
+            )
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._input is None:
+            raise RuntimeError("backward() called before forward()")
+        grad_out = np.atleast_2d(grad_out)
+        self.grad_weight += self._input.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def parameters(self) -> Iterator[Tuple[str, Array, Array]]:
+        yield "weight", self.weight, self.grad_weight
+        yield "bias", self.bias, self.grad_bias
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[Array] = None
+
+    def forward(self, x: Array) -> Array:
+        x = np.asarray(x, dtype=float)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: Array) -> Array:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Sequential(Layer):
+    """Composition of layers applied in order."""
+
+    def __init__(self, layers: List[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: Array) -> Array:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: Array) -> Array:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> Iterator[Tuple[str, Array, Array]]:
+        for i, layer in enumerate(self.layers):
+            for name, value, grad in layer.parameters():
+                yield f"{i}.{name}", value, grad

@@ -1,0 +1,126 @@
+"""Loss functions.
+
+Each loss returns ``(value, grad)`` where ``grad`` is the derivative with
+respect to the network's raw output (logits for classification losses).
+Per-sample weights are supported throughout because the TTP's training
+procedure weights recent days more heavily (§4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _normalize_weights(weights: Optional[Array], n: int) -> Array:
+    """Return per-sample weights normalized to sum to ``n`` so that loss
+    magnitudes stay comparable whether or not weighting is used."""
+    if weights is None:
+        return np.ones(n)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (n,):
+        raise ValueError(f"expected {n} sample weights, got shape {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("sample weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("sample weights must not all be zero")
+    return weights * (n / total)
+
+
+def log_softmax(logits: Array) -> Array:
+    """Numerically stable log-softmax along the last axis."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: Array) -> Array:
+    """Numerically stable softmax along the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+class Loss:
+    """Base class: callable returning ``(scalar_loss, grad_wrt_output)``."""
+
+    def __call__(
+        self, output: Array, target: Array, weights: Optional[Array] = None
+    ) -> Tuple[float, Array]:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy between softmax(logits) and integer class targets.
+
+    This is the TTP's training loss: the actual transmission time is
+    discretized into one of 21 bins and the network minimizes cross-entropy
+    against that bin index.
+    """
+
+    def __call__(
+        self, output: Array, target: Array, weights: Optional[Array] = None
+    ) -> Tuple[float, Array]:
+        logits = np.atleast_2d(output)
+        target = np.asarray(target, dtype=int).ravel()
+        n, k = logits.shape
+        if target.shape != (n,):
+            raise ValueError(f"expected {n} targets, got shape {target.shape}")
+        if target.min() < 0 or target.max() >= k:
+            raise ValueError(f"targets must lie in [0, {k})")
+        w = _normalize_weights(weights, n)
+        logp = log_softmax(logits)
+        loss = float(-(w * logp[np.arange(n), target]).mean())
+        grad = softmax(logits)
+        grad[np.arange(n), target] -= 1.0
+        grad *= (w / n)[:, None]
+        return loss, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error for regression heads (point-estimate TTP ablation)."""
+
+    def __call__(
+        self, output: Array, target: Array, weights: Optional[Array] = None
+    ) -> Tuple[float, Array]:
+        output = np.atleast_2d(output)
+        target = np.asarray(target, dtype=float).reshape(output.shape)
+        n = output.shape[0]
+        w = _normalize_weights(weights, n)
+        diff = output - target
+        loss = float((w[:, None] * diff**2).mean())
+        grad = 2.0 * diff * (w / n)[:, None] / output.shape[1]
+        return loss, grad
+
+
+class HuberLoss(Loss):
+    """Huber loss — robust regression alternative used by the value head of
+    the Pensieve critic, where occasional huge rewards (long stalls) would
+    otherwise dominate the gradient."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def __call__(
+        self, output: Array, target: Array, weights: Optional[Array] = None
+    ) -> Tuple[float, Array]:
+        output = np.atleast_2d(output)
+        target = np.asarray(target, dtype=float).reshape(output.shape)
+        n = output.shape[0]
+        w = _normalize_weights(weights, n)
+        diff = output - target
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff <= self.delta
+        per_elem = np.where(
+            quadratic,
+            0.5 * diff**2,
+            self.delta * (abs_diff - 0.5 * self.delta),
+        )
+        loss = float((w[:, None] * per_elem).mean())
+        grad_elem = np.where(quadratic, diff, self.delta * np.sign(diff))
+        grad = grad_elem * (w / n)[:, None] / output.shape[1]
+        return loss, grad

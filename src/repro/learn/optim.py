@@ -1,0 +1,101 @@
+"""Optimizers operating in place on layer parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.learn.layers import Layer
+
+Array = np.ndarray
+
+
+class Optimizer:
+    """Base optimizer bound to a model's parameters."""
+
+    def __init__(self, model: Layer, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.model = model
+        self.lr = lr
+
+    def _params(self) -> Iterable[Tuple[str, Array, Array]]:
+        return self.model.parameters()
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        model: Layer,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(model, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, Array] = {}
+
+    def step(self) -> None:
+        for name, value, grad in self._params():
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * value
+            if self.momentum:
+                vel = self._velocity.setdefault(name, np.zeros_like(value))
+                vel *= self.momentum
+                vel += update
+                update = vel
+            value -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        model: Layer,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(model, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[str, Array] = {}
+        self._v: Dict[str, Array] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for name, value, grad in self._params():
+            if self.weight_decay:
+                grad = grad + self.weight_decay * value
+            m = self._m.setdefault(name, np.zeros_like(value))
+            v = self._v.setdefault(name, np.zeros_like(value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

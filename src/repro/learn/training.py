@@ -1,0 +1,186 @@
+"""Supervised-learning trainer.
+
+Implements the training procedure from §4.3: minibatch stochastic gradient
+descent on a loss, with shuffling ("we shuffle the sampled data to remove
+correlation in the sequence of inputs"), per-sample weights ("we weight more
+recent days more heavily"), an optional validation split with early stopping,
+and warm starts from an existing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learn.losses import Loss
+from repro.learn.network import MLP
+from repro.learn.optim import Adam, Optimizer
+
+Array = np.ndarray
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset: feature matrix, targets, optional weights."""
+
+    features: Array
+    targets: Array
+    weights: Optional[Array] = None
+
+    def __post_init__(self) -> None:
+        self.features = np.atleast_2d(np.asarray(self.features, dtype=float))
+        self.targets = np.asarray(self.targets)
+        if len(self.targets) != len(self.features):
+            raise ValueError("features and targets must have equal length")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=float)
+            if len(self.weights) != len(self.features):
+                raise ValueError("weights must match dataset length")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def subset(self, index: Array) -> "Dataset":
+        return Dataset(
+            self.features[index],
+            self.targets[index],
+            None if self.weights is None else self.weights[index],
+        )
+
+    def split(
+        self, validation_fraction: float, rng: np.random.Generator
+    ) -> "tuple[Dataset, Dataset]":
+        """Random train/validation split."""
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError("validation_fraction must lie in (0, 1)")
+        n = len(self)
+        perm = rng.permutation(n)
+        n_val = max(1, int(round(n * validation_fraction)))
+        if n_val >= n:
+            raise ValueError("dataset too small for requested validation split")
+        return self.subset(perm[n_val:]), self.subset(perm[:n_val])
+
+    @staticmethod
+    def concatenate(datasets: "List[Dataset]") -> "Dataset":
+        """Stack several datasets (e.g., one per day of telemetry)."""
+        if not datasets:
+            raise ValueError("cannot concatenate zero datasets")
+        feats = np.concatenate([d.features for d in datasets])
+        targs = np.concatenate([d.targets for d in datasets])
+        if any(d.weights is not None for d in datasets):
+            weights = np.concatenate(
+                [
+                    d.weights if d.weights is not None else np.ones(len(d))
+                    for d in datasets
+                ]
+            )
+        else:
+            weights = None
+        return Dataset(feats, targs, weights)
+
+
+@dataclass
+class TrainingReport:
+    """Per-epoch training history."""
+
+    train_losses: List[float] = field(default_factory=list)
+    validation_losses: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+    @property
+    def final_validation_loss(self) -> float:
+        if not self.validation_losses:
+            return float("nan")
+        return self.validation_losses[-1]
+
+
+class Trainer:
+    """Minibatch trainer for an :class:`MLP`.
+
+    Parameters
+    ----------
+    model:
+        Network to train (possibly warm-started from a previous day).
+    loss:
+        Loss object from :mod:`repro.learn.losses`.
+    optimizer:
+        Defaults to Adam with ``lr=1e-3``.
+    batch_size, epochs:
+        Minibatch size and maximum epoch count.
+    patience:
+        If a validation set is used, stop after this many epochs without
+        improvement. ``None`` disables early stopping.
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        loss: Loss,
+        optimizer: Optional[Optimizer] = None,
+        batch_size: int = 64,
+        epochs: int = 50,
+        patience: Optional[int] = 5,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0 or epochs <= 0:
+            raise ValueError("batch_size and epochs must be positive")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer if optimizer is not None else Adam(model)
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.patience = patience
+        self.rng = np.random.default_rng(seed)
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Loss over a dataset without updating parameters."""
+        output = self.model.forward(dataset.features)
+        value, _ = self.loss(output, dataset.targets, dataset.weights)
+        return value
+
+    def fit(
+        self, dataset: Dataset, validation: Optional[Dataset] = None
+    ) -> TrainingReport:
+        """Train the model, returning the epoch-by-epoch history."""
+        report = TrainingReport()
+        best_val = float("inf")
+        best_state: Optional[dict] = None
+        stale_epochs = 0
+        n = len(dataset)
+        for _ in range(self.epochs):
+            perm = self.rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, self.batch_size):
+                batch = dataset.subset(perm[start : start + self.batch_size])
+                output = self.model.forward(batch.features)
+                value, grad = self.loss(output, batch.targets, batch.weights)
+                self.optimizer.zero_grad()
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += value
+                batches += 1
+            report.train_losses.append(epoch_loss / max(batches, 1))
+            report.epochs_run += 1
+            if validation is not None:
+                val = self.evaluate(validation)
+                report.validation_losses.append(val)
+                if val < best_val - 1e-9:
+                    best_val = val
+                    best_state = self.model.state_dict()
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if self.patience is not None and stale_epochs >= self.patience:
+                        report.stopped_early = True
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return report

@@ -1,0 +1,110 @@
+"""The encoding ladder.
+
+Puffer encodes each chunk in ten H.264 versions ranging from 240p60 at
+CRF 26 (about 200 kbps) to 1080p60 at CRF 20 (about 5,500 kbps) (§3.1).
+:data:`PUFFER_LADDER` reconstructs that ladder with geometrically spaced
+target bitrates and the resolutions Puffer's player exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class EncodingProfile:
+    """One rung of the ladder: a resolution/CRF pair with its empirical
+    average bitrate.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, e.g. ``"720p60-crf23"``.
+    width, height:
+        Encoded frame dimensions.
+    crf:
+        x264 constant rate factor; lower is higher quality.
+    target_bitrate:
+        Long-run average bitrate in bits per second for typical content.
+    base_ssim_db:
+        SSIM (dB, vs. the 1080p canonical source) this rung achieves on a
+        chunk of average complexity. Low resolutions are capped well below
+        high ones because SSIM is computed after upscaling to the canonical
+        resolution.
+    """
+
+    name: str
+    width: int
+    height: int
+    crf: int
+    target_bitrate: float
+    base_ssim_db: float
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.width * self.height
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class EncodingLadder:
+    """An ordered set of encoding profiles, lowest bitrate first."""
+
+    def __init__(self, profiles: Sequence[EncodingProfile]) -> None:
+        if not profiles:
+            raise ValueError("ladder must contain at least one profile")
+        ordered = sorted(profiles, key=lambda p: p.target_bitrate)
+        names = [p.name for p in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError("ladder profiles must have unique names")
+        self.profiles: Tuple[EncodingProfile, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[EncodingProfile]:
+        return iter(self.profiles)
+
+    def __getitem__(self, index: int) -> EncodingProfile:
+        return self.profiles[index]
+
+    @property
+    def lowest(self) -> EncodingProfile:
+        return self.profiles[0]
+
+    @property
+    def highest(self) -> EncodingProfile:
+        return self.profiles[-1]
+
+    @property
+    def bitrates(self) -> List[float]:
+        return [p.target_bitrate for p in self.profiles]
+
+    def index_of(self, name: str) -> int:
+        for i, profile in enumerate(self.profiles):
+            if profile.name == name:
+                return i
+        raise KeyError(f"no profile named {name!r}")
+
+
+def _kbps(value: float) -> float:
+    return value * 1000.0
+
+
+PUFFER_LADDER = EncodingLadder(
+    [
+        EncodingProfile("240p60-crf26", 426, 240, 26, _kbps(200), 6.8),
+        EncodingProfile("360p60-crf26", 640, 360, 26, _kbps(400), 9.0),
+        EncodingProfile("480p60-crf25", 854, 480, 25, _kbps(700), 10.9),
+        EncodingProfile("576p60-crf25", 1024, 576, 25, _kbps(1000), 12.2),
+        EncodingProfile("720p60-crf25", 1280, 720, 25, _kbps(1400), 13.4),
+        EncodingProfile("720p60-crf23", 1280, 720, 23, _kbps(1900), 14.5),
+        EncodingProfile("720p60-crf21", 1280, 720, 21, _kbps(2500), 15.4),
+        EncodingProfile("1080p60-crf24", 1920, 1080, 24, _kbps(3300), 16.3),
+        EncodingProfile("1080p60-crf22", 1920, 1080, 22, _kbps(4300), 17.1),
+        EncodingProfile("1080p60-crf20", 1920, 1080, 20, _kbps(5500), 17.9),
+    ]
+)
+"""Ten-rung ladder matching Puffer's §3.1 description (200 kbps to 5.5 Mbps)."""

@@ -1,0 +1,34 @@
+"""SSIM helpers.
+
+Puffer reports video quality as SSIM in decibels: ``10 * log10(1 / (1 - s))``
+for an SSIM index ``s`` in [0, 1). The paper's evaluation tables use dB
+throughout (e.g., Fugu's mean SSIM of 16.9 dB corresponds to an SSIM index of
+about 0.9796), so both representations are needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+MAX_SSIM_DB = 60.0
+"""Cap used for numerically perfect chunks (SSIM index of exactly 1.0)."""
+
+
+def ssim_index_to_db(index: float) -> float:
+    """Convert an SSIM index in [0, 1] to decibels.
+
+    A perfect index of 1.0 maps to :data:`MAX_SSIM_DB` rather than infinity,
+    matching how streaming telemetry pipelines clamp the value.
+    """
+    if not 0.0 <= index <= 1.0:
+        raise ValueError(f"SSIM index must lie in [0, 1], got {index}")
+    if index >= 1.0 - 1e-12:
+        return MAX_SSIM_DB
+    return min(10.0 * math.log10(1.0 / (1.0 - index)), MAX_SSIM_DB)
+
+
+def ssim_db_to_index(db: float) -> float:
+    """Convert SSIM in decibels back to an index in [0, 1)."""
+    if db < 0.0:
+        raise ValueError(f"SSIM dB must be non-negative, got {db}")
+    return 1.0 - 10.0 ** (-db / 10.0)

@@ -1,0 +1,84 @@
+"""BBR-like congestion control.
+
+A rate-based model of BBR v1 [Cardwell et al. 2016] at round granularity:
+
+* a windowed-max filter estimates bottleneck bandwidth from delivery-rate
+  samples;
+* during STARTUP the window grows by 2x per round until bandwidth stops
+  growing (three rounds without ~25% growth), as in BBR's full-pipe check;
+* in steady state (PROBE_BW) the window is pinned to ``cwnd_gain`` times the
+  estimated bandwidth-delay product, which keeps queues small;
+* loss is ignored (BBR v1 is not loss-based).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
+
+_BW_FILTER_ROUNDS = 10
+_FULL_PIPE_GROWTH = 1.25
+_FULL_PIPE_ROUNDS = 3
+
+
+class BbrLike(CongestionControl):
+    """Round-granularity BBR model."""
+
+    name = "bbr"
+
+    def __init__(self, mss: int = DEFAULT_MSS, cwnd_gain: float = 2.0) -> None:
+        super().__init__(mss)
+        if cwnd_gain <= 0:
+            raise ValueError("cwnd_gain must be positive")
+        self.cwnd_gain = cwnd_gain
+        self._bw_samples: Deque[float] = deque(maxlen=_BW_FILTER_ROUNDS)
+        self._min_rtt = float("inf")
+        self._in_startup = True
+        self._full_pipe_baseline = 0.0
+        self._stale_rounds = 0
+
+    @property
+    def bandwidth_estimate_bps(self) -> float:
+        """Windowed-max bottleneck bandwidth estimate."""
+        return max(self._bw_samples) if self._bw_samples else 0.0
+
+    @property
+    def in_startup(self) -> bool:
+        return self._in_startup
+
+    def on_round(self, sample: RoundSample) -> None:
+        self._bw_samples.append(sample.delivery_rate_bps)
+        self._min_rtt = min(self._min_rtt, sample.rtt)
+        bw = self.bandwidth_estimate_bps
+        if self._in_startup:
+            if bw > self._full_pipe_baseline * _FULL_PIPE_GROWTH:
+                self._full_pipe_baseline = bw
+                self._stale_rounds = 0
+            else:
+                self._stale_rounds += 1
+                if self._stale_rounds >= _FULL_PIPE_ROUNDS:
+                    self._in_startup = False
+            self.cwnd_bytes *= 2.0
+        if not self._in_startup and bw > 0 and self._min_rtt < float("inf"):
+            bdp_bytes = bw / 8.0 * self._min_rtt
+            self.cwnd_bytes = self.cwnd_gain * bdp_bytes
+        self._clamp()
+
+    def on_idle(self, idle_time: float, rtt: float) -> None:
+        super().on_idle(idle_time, rtt)
+        if idle_time <= 0:
+            return
+        # After a long idle the pipe state is stale: BBR must re-probe, so
+        # re-enter startup and age out old bandwidth samples.
+        rto = max(2.0 * rtt, 0.2)
+        if idle_time >= 4.0 * rto:
+            self._in_startup = True
+            self._full_pipe_baseline = self.bandwidth_estimate_bps * 0.5
+            self._stale_rounds = 0
+            # Keep one (discounted) sample as institutional memory.
+            if self._bw_samples:
+                last = self._bw_samples[-1]
+                self._bw_samples.clear()
+                self._bw_samples.append(last * 0.7)

@@ -1,0 +1,79 @@
+"""CUBIC-like loss-based congestion control.
+
+Round-granularity model of Linux CUBIC (RFC 8312): exponential slow start
+until ``ssthresh`` or loss, then window growth following the cubic function
+``W(t) = C (t - K)^3 + W_max`` of elapsed time since the last loss, with
+multiplicative decrease by ``beta`` on loss events.
+"""
+
+from __future__ import annotations
+
+from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
+
+_CUBIC_C = 0.4
+"""Cubic scaling constant, in segments/second^3 as in RFC 8312."""
+
+_CUBIC_BETA = 0.7
+"""Multiplicative decrease factor."""
+
+
+class CubicLike(CongestionControl):
+    """Round-granularity CUBIC model."""
+
+    name = "cubic"
+
+    def __init__(self, mss: int = DEFAULT_MSS) -> None:
+        super().__init__(mss)
+        self.ssthresh_bytes = float("inf")
+        self._w_max_segments = 0.0
+        self._epoch_elapsed = 0.0
+        self._k = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd_bytes < self.ssthresh_bytes
+
+    def _enter_recovery(self) -> None:
+        self._w_max_segments = self.cwnd_segments
+        self.cwnd_bytes *= _CUBIC_BETA
+        self.ssthresh_bytes = self.cwnd_bytes
+        self._epoch_elapsed = 0.0
+        self._k = (self._w_max_segments * (1.0 - _CUBIC_BETA) / _CUBIC_C) ** (
+            1.0 / 3.0
+        )
+
+    def on_round(self, sample: RoundSample) -> None:
+        if sample.loss:
+            self._enter_recovery()
+            self._clamp()
+            return
+        if self.in_slow_start:
+            self.cwnd_bytes *= 2.0
+            if self.cwnd_bytes >= self.ssthresh_bytes:
+                # Exiting slow start without loss: start a cubic epoch here.
+                self._w_max_segments = self.cwnd_segments
+                self._epoch_elapsed = 0.0
+                self._k = 0.0
+        else:
+            self._epoch_elapsed += sample.duration
+            target_segments = (
+                _CUBIC_C * (self._epoch_elapsed - self._k) ** 3
+                + self._w_max_segments
+            )
+            # Growth only; the cubic function dips below W_max before K.
+            if target_segments * self.mss > self.cwnd_bytes:
+                self.cwnd_bytes = target_segments * self.mss
+            else:
+                # TCP-friendly region: at least Reno-like linear growth.
+                self.cwnd_bytes += self.mss * max(
+                    sample.duration / max(sample.rtt, 1e-3), 0.0
+                )
+        self._clamp()
+
+    def on_idle(self, idle_time: float, rtt: float) -> None:
+        super().on_idle(idle_time, rtt)
+        if idle_time > 0:
+            rto = max(2.0 * rtt, 0.2)
+            if idle_time >= rto:
+                # Restarting after idle begins a fresh cubic epoch.
+                self._epoch_elapsed = 0.0

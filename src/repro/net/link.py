@@ -1,0 +1,264 @@
+"""Bottleneck link models.
+
+A link model is a capacity process: ``capacity_at(t)`` returns the bottleneck
+rate in bits per second at absolute time ``t``. All stochastic links generate
+their capacity lazily, epoch by epoch, from a seeded generator, so a link is
+deterministic given its construction arguments and can be queried at
+arbitrary (non-decreasing or random-access) times.
+
+Two families matter for the paper:
+
+* :class:`MarkovLink` — the CS2P world view: throughput sits in one of a few
+  discrete states and jumps between them (Fig. 2a).
+* :class:`HeavyTailLink` — what Puffer actually observes: continuous,
+  mean-reverting evolution around a per-session level drawn from a
+  heavy-tailed population, with occasional deep fades/outages (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+MIN_CAPACITY = 1_000.0
+"""Floor on link capacity (bits/s) so transmissions always terminate."""
+
+
+class LinkModel:
+    """Abstract time-varying bottleneck."""
+
+    def capacity_at(self, t: float) -> float:
+        """Instantaneous capacity in bits/s at absolute time ``t >= 0``."""
+        raise NotImplementedError
+
+    def mean_capacity(self, horizon: float = 300.0, dt: float = 1.0) -> float:
+        """Empirical mean capacity over ``[0, horizon)`` (diagnostics)."""
+        times = np.arange(0.0, horizon, dt)
+        return float(np.mean([self.capacity_at(t) for t in times]))
+
+    def sample_epochs(self, n_epochs: int, epoch: float = 6.0) -> List[float]:
+        """Capacity sampled every ``epoch`` seconds — the 6-second epochs of
+        Fig. 2."""
+        return [self.capacity_at(i * epoch) for i in range(n_epochs)]
+
+
+class ConstantLink(LinkModel):
+    """Fixed-rate link, mostly for tests and calibration."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = float(rate_bps)
+
+    def capacity_at(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        return max(self.rate_bps, MIN_CAPACITY)
+
+
+class TraceLink(LinkModel):
+    """Piecewise-constant capacity from a throughput trace.
+
+    ``rates_bps[i]`` holds over ``[i * epoch, (i + 1) * epoch)``. The trace
+    loops by default, matching how mahimahi replays packet-time traces in
+    the emulation experiments (§5.2).
+    """
+
+    def __init__(
+        self, rates_bps: Sequence[float], epoch: float = 1.0, loop: bool = True
+    ) -> None:
+        if not rates_bps:
+            raise ValueError("trace must contain at least one epoch")
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.rates_bps = [max(float(r), MIN_CAPACITY) for r in rates_bps]
+        self.epoch = epoch
+        self.loop = loop
+
+    @property
+    def duration(self) -> float:
+        return len(self.rates_bps) * self.epoch
+
+    def capacity_at(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        index = int(t / self.epoch)
+        if self.loop:
+            index %= len(self.rates_bps)
+        else:
+            index = min(index, len(self.rates_bps) - 1)
+        return self.rates_bps[index]
+
+
+class _LazyEpochLink(LinkModel):
+    """Base for stochastic links that realize capacity one epoch at a time."""
+
+    def __init__(self, epoch: float, seed: int) -> None:
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.epoch = epoch
+        self.rng = np.random.default_rng(seed)
+        self._realized: List[float] = []
+
+    def _next_epoch_capacity(self) -> float:
+        raise NotImplementedError
+
+    def capacity_at(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        index = int(t / self.epoch)
+        while len(self._realized) <= index:
+            self._realized.append(max(self._next_epoch_capacity(), MIN_CAPACITY))
+        return self._realized[index]
+
+
+class MarkovLink(_LazyEpochLink):
+    """CS2P-style link: a small set of discrete throughput states with
+    geometric dwell times (Fig. 2a).
+
+    Parameters
+    ----------
+    states_bps:
+        The discrete throughput levels.
+    switch_probability:
+        Per-epoch probability of jumping to a different state.
+    jitter_sigma:
+        Small relative noise within a state (CS2P's states are bands, not
+        exact constants).
+    """
+
+    def __init__(
+        self,
+        states_bps: Sequence[float],
+        switch_probability: float = 0.05,
+        jitter_sigma: float = 0.02,
+        epoch: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(epoch, seed)
+        if not states_bps:
+            raise ValueError("need at least one state")
+        if not 0.0 <= switch_probability <= 1.0:
+            raise ValueError("switch_probability must lie in [0, 1]")
+        self.states_bps = [float(s) for s in states_bps]
+        self.switch_probability = switch_probability
+        self.jitter_sigma = jitter_sigma
+        self._state = int(self.rng.integers(len(self.states_bps)))
+
+    def _next_epoch_capacity(self) -> float:
+        if len(self.states_bps) > 1 and self.rng.random() < self.switch_probability:
+            choices = [
+                i for i in range(len(self.states_bps)) if i != self._state
+            ]
+            self._state = int(self.rng.choice(choices))
+        base = self.states_bps[self._state]
+        return base * float(np.exp(self.rng.normal(0.0, self.jitter_sigma)))
+
+
+class HeavyTailLink(_LazyEpochLink):
+    """Puffer-style link: continuous mean-reverting evolution with deep fades.
+
+    Log-capacity follows an Ornstein–Uhlenbeck process around a per-session
+    base level; independently, the link occasionally enters a multi-epoch
+    *fade* during which capacity collapses by 1–2 orders of magnitude. Fades
+    are what make rebuffering a rare-but-heavy-tailed phenomenon: only ~3% of
+    Puffer streams stall at all, but those that do can stall badly (§3.4).
+
+    Parameters
+    ----------
+    base_bps:
+        Session-level mean capacity.
+    sigma:
+        Stationary std of log-capacity fluctuations.
+    reversion:
+        Per-epoch mean-reversion rate in (0, 1].
+    fade_rate:
+        Per-epoch probability of entering a fade.
+    fade_depth_log:
+        Mean of the (exponential) log-attenuation during fades; 2.3 ≈ 10×.
+    fade_duration_epochs:
+        Mean geometric duration of a fade, in epochs.
+    fade_floor_median_bps / fade_floor_sigma:
+        Fades bottom out at a per-fade residual capacity drawn log-normally
+        around the median — a congested link rarely delivers literally
+        nothing, so the lowest ladder rung usually remains (barely)
+        streamable and recovery behaviour differentiates the schemes.
+    """
+
+    def __init__(
+        self,
+        base_bps: float,
+        sigma: float = 0.35,
+        reversion: float = 0.12,
+        fade_rate: float = 0.004,
+        fade_depth_log: float = 2.3,
+        fade_duration_epochs: float = 8.0,
+        fade_floor_median_bps: float = 3e5,
+        fade_floor_sigma: float = 0.8,
+        fade_onset_epochs: int = 3,
+        epoch: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(epoch, seed)
+        if base_bps <= 0:
+            raise ValueError("base capacity must be positive")
+        if not 0.0 < reversion <= 1.0:
+            raise ValueError("reversion must lie in (0, 1]")
+        if not 0.0 <= fade_rate <= 1.0:
+            raise ValueError("fade_rate must lie in [0, 1]")
+        if fade_duration_epochs < 1.0:
+            raise ValueError("fade duration must be at least one epoch")
+        self.base_bps = float(base_bps)
+        self.sigma = sigma
+        self.reversion = reversion
+        self.fade_rate = fade_rate
+        self.fade_depth_log = fade_depth_log
+        self.fade_duration_epochs = fade_duration_epochs
+        self.fade_floor_median_bps = fade_floor_median_bps
+        self.fade_floor_sigma = fade_floor_sigma
+        self.fade_onset_epochs = int(fade_onset_epochs)
+        self._log_dev = float(self.rng.normal(0.0, sigma))
+        self._fade_schedule: List[float] = []
+        self._fade_floor_bps = 0.0
+
+    def _start_fade(self) -> None:
+        """Schedule a fade: a gradual onset ramp, the deep phase, recovery.
+
+        Real congestion events have precursors — queues build and delivery
+        rates sag before throughput collapses — which is what lets
+        congestion-aware predictors (Fugu's TCP statistics) react a chunk
+        or two before buffer-occupancy signals do.
+        """
+        depth = float(self.rng.exponential(self.fade_depth_log))
+        attenuation = float(np.exp(-max(depth, 0.7)))
+        self._fade_floor_bps = float(
+            self.rng.lognormal(
+                np.log(self.fade_floor_median_bps), self.fade_floor_sigma
+            )
+        )
+        deep_epochs = 1 + int(self.rng.geometric(1.0 / self.fade_duration_epochs))
+        schedule: List[float] = []
+        for step in range(1, self.fade_onset_epochs + 1):
+            schedule.append(attenuation ** (step / (self.fade_onset_epochs + 1)))
+        schedule.extend([attenuation] * deep_epochs)
+        # Recovery is quicker than onset (congestion clears abruptly).
+        schedule.append(float(np.sqrt(attenuation)))
+        self._fade_schedule = schedule
+
+    def _next_epoch_capacity(self) -> float:
+        innovation_sigma = self.sigma * np.sqrt(1.0 - (1.0 - self.reversion) ** 2)
+        self._log_dev = float(
+            (1.0 - self.reversion) * self._log_dev
+            + self.rng.normal(0.0, innovation_sigma)
+        )
+        if self._fade_schedule:
+            attenuation = self._fade_schedule.pop(0)
+        else:
+            attenuation = 1.0
+            if self.rng.random() < self.fade_rate:
+                self._start_fade()
+        capacity = self.base_bps * float(np.exp(self._log_dev)) * attenuation
+        if attenuation < 1.0:
+            capacity = max(capacity, min(self._fade_floor_bps, self.base_bps))
+        return capacity

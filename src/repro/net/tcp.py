@@ -1,0 +1,216 @@
+"""Fluid TCP connection model.
+
+:class:`TcpConnection` transmits video chunks over a :class:`LinkModel` at
+RTT-round granularity and maintains the sender-side state that Linux exposes
+as ``tcp_info`` — the statistics Fugu's TTP consumes (§4.2) and Puffer logs
+in every ``video_sent`` record (Appendix B).
+
+The model deliberately reproduces the effects that make *transmission time a
+non-linear function of chunk size*:
+
+* **slow-start ramp** — a fresh or idle-restarted window takes several RTTs
+  of exponential growth to fill the pipe, so small chunks observe a lower
+  effective throughput than large ones;
+* **idle restart** — when the client's playback buffer is full the server
+  pauses, the kernel decays the window, and the next chunk ramps up again;
+* **RTT quantization** — a chunk smaller than one window still costs ~1 RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
+from repro.net.cc.bbr import BbrLike
+from repro.net.link import LinkModel
+
+_MAX_ROUNDS_PER_CHUNK = 100_000
+_SRTT_GAIN = 0.125  # RFC 6298 smoothing
+_QUEUE_LOSS_THRESHOLD = 1.5  # queue > 1.5 BDP-equivalents risks drops
+
+
+@dataclass(frozen=True)
+class TcpInfo:
+    """Snapshot of sender-side TCP statistics (subset of Linux ``tcp_info``).
+
+    Field names follow the open-data description in Appendix B.
+    """
+
+    cwnd: float
+    """Congestion window in segments (``tcpi_snd_cwnd``)."""
+
+    in_flight: float
+    """Unacknowledged segments in flight."""
+
+    min_rtt: float
+    """Minimum observed RTT in seconds (``tcpi_min_rtt``)."""
+
+    rtt: float
+    """Smoothed RTT estimate in seconds (``tcpi_rtt``)."""
+
+    delivery_rate: float
+    """Most recent delivery-rate estimate in bits/s
+    (``tcpi_delivery_rate``)."""
+
+
+@dataclass(frozen=True)
+class TransmissionResult:
+    """Outcome of sending one chunk."""
+
+    transmission_time: float
+    """Seconds from first byte sent to last byte acknowledged."""
+
+    info_at_send: TcpInfo
+    """The ``tcp_info`` snapshot taken when the send began — what the
+    ``video_sent`` record logs and what the TTP sees."""
+
+    rounds: int
+    """Number of RTT rounds the transfer took."""
+
+
+class TcpConnection:
+    """A long-lived connection carrying one video session's chunks.
+
+    Parameters
+    ----------
+    link:
+        Bottleneck capacity process.
+    base_rtt:
+        Two-way propagation delay in seconds (no queueing).
+    cc:
+        Congestion controller; defaults to a fresh :class:`BbrLike`, matching
+        the primary experiment (§3.2).
+    loss_rng:
+        Generator for stochastic loss events (used by loss-based CC).
+    """
+
+    def __init__(
+        self,
+        link: LinkModel,
+        base_rtt: float,
+        cc: Optional[CongestionControl] = None,
+        mss: int = DEFAULT_MSS,
+        loss_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if base_rtt <= 0:
+            raise ValueError("base RTT must be positive")
+        self.link = link
+        self.base_rtt = float(base_rtt)
+        self.cc = cc if cc is not None else BbrLike(mss=mss)
+        self.mss = mss
+        self.loss_rng = loss_rng if loss_rng is not None else np.random.default_rng(0)
+        self.srtt = self.base_rtt
+        self.min_rtt = self.base_rtt
+        self.delivery_rate_bps = 0.0
+        self._in_flight_bytes = 0.0
+        self._last_activity_end = 0.0
+        self._total_bytes_sent = 0.0
+        self._queue_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def tcp_info(self) -> TcpInfo:
+        """Current sender statistics (the ``video_sent`` fields)."""
+        return TcpInfo(
+            cwnd=self.cc.cwnd_bytes / self.mss,
+            in_flight=self._in_flight_bytes / self.mss,
+            min_rtt=self.min_rtt,
+            rtt=self.srtt,
+            delivery_rate=self.delivery_rate_bps,
+        )
+
+    @property
+    def total_bytes_sent(self) -> float:
+        return self._total_bytes_sent
+
+    @property
+    def busy_until(self) -> float:
+        """Absolute time at which the last transmission completes. A new
+        transmit may not start earlier (chunks are serialized in order on
+        the one connection)."""
+        return self._last_activity_end
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _handle_idle(self, at_time: float) -> None:
+        idle = at_time - self._last_activity_end
+        if idle <= 0:
+            return
+        self.cc.on_idle(idle, self.srtt)
+        # In-flight data drains within an RTT of going quiet.
+        self._in_flight_bytes *= float(np.exp(-idle / max(self.srtt, 1e-3)))
+        if self._in_flight_bytes < self.mss:
+            self._in_flight_bytes = 0.0
+        self._queue_bytes *= float(np.exp(-idle / max(self.srtt, 1e-3)))
+
+    def transmit(self, size_bytes: float, at_time: float) -> TransmissionResult:
+        """Send ``size_bytes`` starting at absolute time ``at_time``.
+
+        ``at_time`` must not precede the end of the previous transmission
+        (the server sends chunks back to back on one connection).
+        """
+        if size_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if at_time < self._last_activity_end - 1e-9:
+            raise ValueError(
+                "transmission requested before previous one finished "
+                f"({at_time:.3f} < {self._last_activity_end:.3f})"
+            )
+        self._handle_idle(at_time)
+        info_at_send = self.tcp_info()
+
+        remaining = float(size_bytes)
+        elapsed = 0.0
+        rounds = 0
+        while remaining > 0:
+            rounds += 1
+            if rounds > _MAX_ROUNDS_PER_CHUNK:
+                raise RuntimeError("transmission did not terminate")
+            capacity_bps = self.link.capacity_at(at_time + elapsed)
+            capacity_Bps = capacity_bps / 8.0
+            window = min(self.cc.cwnd_bytes, remaining)
+            drain_time = window / capacity_Bps
+            # Queueing delay from data the bottleneck hasn't drained yet.
+            queue_delay = self._queue_bytes / capacity_Bps
+            rtt_sample = self.base_rtt + queue_delay
+            link_limited = drain_time > rtt_sample
+            duration = max(rtt_sample, drain_time)
+            if link_limited:
+                # The excess of window over one BDP sits in the queue.
+                bdp = capacity_Bps * self.base_rtt
+                self._queue_bytes = max(window - bdp, 0.0)
+            else:
+                self._queue_bytes = 0.0
+            loss = False
+            if link_limited:
+                bdp = max(capacity_Bps * self.base_rtt, self.mss)
+                if self._queue_bytes > _QUEUE_LOSS_THRESHOLD * bdp:
+                    overflow = self._queue_bytes / bdp - _QUEUE_LOSS_THRESHOLD
+                    loss = bool(self.loss_rng.random() < min(0.8, 0.3 * overflow))
+            delivery_rate = window * 8.0 / duration
+            sample = RoundSample(
+                delivered_bytes=window,
+                duration=duration,
+                rtt=rtt_sample,
+                delivery_rate_bps=delivery_rate,
+                link_limited=link_limited,
+                loss=loss,
+            )
+            self.cc.on_round(sample)
+            self.srtt = (1.0 - _SRTT_GAIN) * self.srtt + _SRTT_GAIN * rtt_sample
+            self.min_rtt = min(self.min_rtt, rtt_sample)
+            self.delivery_rate_bps = delivery_rate
+            self._in_flight_bytes = window
+            remaining -= window
+            elapsed += duration
+
+        self._total_bytes_sent += size_bytes
+        self._last_activity_end = at_time + elapsed
+        return TransmissionResult(
+            transmission_time=elapsed, info_at_send=info_at_send, rounds=rounds
+        )

@@ -1,0 +1,58 @@
+"""Client playback buffer.
+
+The playhead drains the buffer at 1 s/s while chunks arrive at irregular
+intervals (§2). Puffer's player caps the buffer at 15 seconds (§3.3); when
+the cap is reached the server pauses until there is room for another chunk.
+"""
+
+from __future__ import annotations
+
+MAX_BUFFER_S = 15.0
+"""Puffer's client buffer cap in seconds of video."""
+
+
+class PlaybackBuffer:
+    """Seconds of downloaded-but-unplayed video.
+
+    The buffer only models *quantity* of queued video; chunk identity is
+    tracked by the simulator. ``drain`` is called as playback time passes,
+    ``add`` when a chunk finishes arriving.
+    """
+
+    def __init__(self, max_buffer_s: float = MAX_BUFFER_S) -> None:
+        if max_buffer_s <= 0:
+            raise ValueError("buffer cap must be positive")
+        self.max_buffer_s = max_buffer_s
+        self.level_s = 0.0
+
+    def add(self, duration_s: float) -> None:
+        """Enqueue a chunk's worth of video."""
+        if duration_s <= 0:
+            raise ValueError("chunk duration must be positive")
+        self.level_s += duration_s
+        if self.level_s > self.max_buffer_s + 1e-9:
+            raise RuntimeError(
+                "buffer overflow: server must pause before exceeding the cap"
+            )
+
+    def drain(self, play_time_s: float) -> float:
+        """Play ``play_time_s`` seconds; returns the stall time incurred
+        (the shortfall when the buffer runs dry)."""
+        if play_time_s < 0:
+            raise ValueError("play time must be non-negative")
+        if play_time_s <= self.level_s:
+            self.level_s -= play_time_s
+            return 0.0
+        shortfall = play_time_s - self.level_s
+        self.level_s = 0.0
+        return shortfall
+
+    def room_for(self, duration_s: float) -> bool:
+        """Whether a chunk of ``duration_s`` fits under the cap."""
+        return self.level_s + duration_s <= self.max_buffer_s + 1e-9
+
+    def time_until_room(self, duration_s: float) -> float:
+        """Playback time the server must wait before sending the next chunk."""
+        if self.room_for(duration_s):
+            return 0.0
+        return self.level_s + duration_s - self.max_buffer_s

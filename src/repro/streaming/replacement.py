@@ -1,0 +1,244 @@
+"""Chunk replacement — an extension beyond the paper's Fugu.
+
+§6.2: "Fugu does not consider several issues that other research has
+concerned itself with — e.g., being able to 'replace' already-downloaded
+chunks in the buffer with higher quality versions [35]."
+
+This module implements that capability (in the spirit of Spiteri et al.'s
+DASH-player work) as a separate simulation loop: whenever the playback
+buffer is full — time the plain server would spend idle — the client may
+instead re-download a buffered, not-yet-played chunk at a higher rung,
+provided the predicted fetch time fits comfortably inside that chunk's play
+deadline. Replacement trades upstream bytes (the discarded lower-quality
+copy) for higher played SSIM without added stall risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.abr.base import AbrAlgorithm, AbrContext, ChunkRecord, harmonic_mean_throughput
+from repro.media.chunk import ChunkMenu, EncodedChunk
+from repro.net.tcp import TcpConnection
+from repro.streaming.buffer import MAX_BUFFER_S
+from repro.streaming.session import StreamResult
+from repro.streaming.simulator import DEFAULT_LOOKAHEAD, _MenuWindow
+
+
+@dataclass
+class ReplacementPolicy:
+    """Decides which buffered chunk (if any) to upgrade during idle time.
+
+    Parameters
+    ----------
+    safety_factor:
+        Fraction of a chunk's play deadline the predicted re-download must
+        fit within; below 1.0 leaves headroom so replacement cannot cause a
+        stall under mildly wrong throughput estimates.
+    min_gain_db:
+        Minimum SSIM improvement worth spending bytes on.
+    """
+
+    safety_factor: float = 0.5
+    min_gain_db: float = 0.5
+
+    def select(
+        self,
+        buffered: "List[Tuple[ChunkMenu, int]]",
+        play_offsets: List[float],
+        throughput_bps: Optional[float],
+    ) -> Optional[Tuple[int, int]]:
+        """Return ``(buffer_position, new_rung)`` or None.
+
+        ``buffered[i]`` is the menu and currently-held rung of the i-th
+        queued chunk; ``play_offsets[i]`` is the time until it starts
+        playing.
+        """
+        if throughput_bps is None or throughput_bps <= 0:
+            return None
+        best: Optional[Tuple[int, int]] = None
+        best_gain = self.min_gain_db
+        for position, (menu, rung) in enumerate(buffered):
+            current = menu[rung]
+            deadline = play_offsets[position] * self.safety_factor
+            for candidate in range(len(menu) - 1, rung, -1):
+                version = menu[candidate]
+                fetch_time = version.size_bits / throughput_bps
+                if fetch_time > deadline:
+                    continue
+                gain = version.ssim_db - current.ssim_db
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (position, candidate)
+                break  # lower candidates have smaller gains
+        return best
+
+
+@dataclass
+class ReplacementStreamResult(StreamResult):
+    """Stream outcome with replacement accounting."""
+
+    replacements: int = 0
+    wasted_bytes: float = 0.0
+    """Bytes of discarded lower-quality copies."""
+
+
+def simulate_stream_with_replacement(
+    menus: Iterable[ChunkMenu],
+    abr: AbrAlgorithm,
+    connection: TcpConnection,
+    watch_time_s: float,
+    policy: Optional[ReplacementPolicy] = None,
+    max_buffer_s: float = MAX_BUFFER_S,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    stream_id: int = 0,
+) -> ReplacementStreamResult:
+    """Chunk-level simulation with buffered-chunk replacement.
+
+    The ABR scheme chooses each newly-fetched chunk exactly as in
+    :func:`repro.streaming.simulator.simulate_stream`; the replacement
+    policy spends buffer-full idle time on upgrades. Played SSIM is
+    computed from the versions actually played.
+    """
+    if watch_time_s < 0:
+        raise ValueError("watch time must be non-negative")
+    policy = policy if policy is not None else ReplacementPolicy()
+    abr.begin_stream()
+    result = ReplacementStreamResult(stream_id=stream_id, scheme_name=abr.name)
+    window = _MenuWindow(menus, lookahead)
+    # The buffer holds explicit chunks: (menu, rung, seconds_unplayed).
+    queue: List[List] = []  # [menu, rung, remaining_duration]
+    t = 0.0
+    playing = False
+    last_ssim: Optional[float] = None
+    fetch_history: List[ChunkRecord] = []
+
+    def buffer_level() -> float:
+        return sum(entry[2] for entry in queue)
+
+    def drain(play_s: float) -> float:
+        """Advance playback; returns stall time incurred."""
+        nonlocal playing
+        remaining = play_s
+        while remaining > 1e-12 and queue:
+            entry = queue[0]
+            step = min(entry[2], remaining)
+            entry[2] -= step
+            remaining -= step
+            if entry[2] <= 1e-12:
+                menu, rung, _ = entry
+                result.records.append(
+                    ChunkRecord(
+                        chunk_index=menu.chunk_index,
+                        rung=rung,
+                        size_bytes=menu[rung].size_bytes,
+                        ssim_db=menu[rung].ssim_db,
+                        transmission_time=0.0,
+                        info_at_send=connection.tcp_info(),
+                        send_time=t,
+                    )
+                )
+                queue.pop(0)
+        return remaining
+
+    while t < watch_time_s:
+        if window.exhausted:
+            break
+        duration = window.peek()[0].duration
+        room = buffer_level() + duration <= max_buffer_s + 1e-9
+
+        if not room:
+            # Idle period: try a replacement before waiting.
+            throughput = harmonic_mean_throughput(fetch_history)
+            offsets = []
+            acc = 0.0
+            for entry in queue:
+                offsets.append(acc)
+                acc += entry[2]
+            # Never replace the chunk currently playing (offset 0, partial).
+            candidates = [
+                (queue[i][0], queue[i][1]) for i in range(len(queue))
+            ]
+            choice = policy.select(candidates, offsets, throughput)
+            if choice is not None and playing:
+                position, new_rung = choice
+                entry = queue[position]
+                old_version: EncodedChunk = entry[0][entry[1]]
+                new_version: EncodedChunk = entry[0][new_rung]
+                tx = connection.transmit(new_version.size_bytes, t)
+                stall = drain(tx.transmission_time) if playing else 0.0
+                play = tx.transmission_time - stall
+                result.play_time += play
+                result.stall_time += stall
+                t += tx.transmission_time
+                fetch_history.append(
+                    ChunkRecord(
+                        chunk_index=entry[0].chunk_index,
+                        rung=new_rung,
+                        size_bytes=new_version.size_bytes,
+                        ssim_db=new_version.ssim_db,
+                        transmission_time=tx.transmission_time,
+                        info_at_send=tx.info_at_send,
+                        send_time=t,
+                    )
+                )
+                # Upgrade only if the chunk is still unplayed in full.
+                if entry in queue and entry[2] >= entry[0].duration - 1e-9:
+                    entry[1] = new_rung
+                    result.replacements += 1
+                    result.wasted_bytes += old_version.size_bytes
+                continue
+            # Nothing worth replacing: wait for room.
+            wait = min(
+                buffer_level() + duration - max_buffer_s,
+                max(watch_time_s - t, 0.0),
+            )
+            if wait <= 0:
+                break
+            result.play_time += wait - drain(wait)
+            t += wait
+            continue
+
+        context = AbrContext(
+            lookahead=window.peek(),
+            buffer_s=buffer_level(),
+            tcp_info=connection.tcp_info(),
+            history=fetch_history,
+            last_ssim_db=last_ssim,
+            startup=not playing,
+        )
+        rung = abr.choose(context)
+        menu = window.pop()
+        version = menu[rung]
+        tx = connection.transmit(version.size_bytes, t)
+        if playing:
+            stall = drain(tx.transmission_time)
+            result.play_time += tx.transmission_time - stall
+            result.stall_time += stall
+        t += tx.transmission_time
+        queue.append([menu, rung, menu.duration])
+        if not playing:
+            playing = True
+            result.startup_delay = t
+        record = ChunkRecord(
+            chunk_index=menu.chunk_index,
+            rung=rung,
+            size_bytes=version.size_bytes,
+            ssim_db=version.ssim_db,
+            transmission_time=tx.transmission_time,
+            info_at_send=tx.info_at_send,
+            send_time=t - tx.transmission_time,
+        )
+        fetch_history.append(record)
+        abr.on_chunk_complete(record)
+        last_ssim = version.ssim_db
+
+    # Drain the remaining buffer until the viewer leaves.
+    if playing and t < watch_time_s:
+        tail = min(buffer_level(), watch_time_s - t)
+        result.play_time += tail - drain(tail)
+        t += tail
+    result.total_time = min(t, watch_time_s)
+    result.never_began = not playing
+    return result

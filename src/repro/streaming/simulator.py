@@ -1,0 +1,278 @@
+"""Chunk-level streaming simulation loop.
+
+``simulate_stream`` plays the role of one Puffer serving daemon plus one
+browser client: the ABR scheme picks a version of each chunk, the chunk is
+transmitted over the TCP model, the playback buffer drains at 1 s/s while
+data is in flight, stalls accrue when it empties, and the server pauses when
+the 15-second buffer cap is reached. Telemetry is emitted in the open-data
+format.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, Iterator, Optional
+
+from repro.abr.base import AbrAlgorithm, AbrContext, ChunkRecord
+from repro.media.chunk import ChunkMenu
+from repro.media.ssim import ssim_db_to_index
+from repro.net.tcp import TcpConnection
+from repro.streaming.buffer import MAX_BUFFER_S, PlaybackBuffer
+from repro.streaming.session import StreamResult
+from repro.streaming.telemetry import (
+    BufferEvent,
+    ClientBufferRecord,
+    TelemetryLog,
+    VideoAckedRecord,
+    VideoSentRecord,
+)
+
+DEFAULT_LOOKAHEAD = 8
+"""Menus visible ahead of the playhead (live encoding runs a few chunks
+ahead; 8 covers MPC's 5-chunk horizon with margin)."""
+
+ExtensionHook = Callable[[float, StreamResult], float]
+"""Called when the viewer's intended watch time is reached; returns extra
+seconds to keep watching (0 ends the stream). Models the QoE-sensitive
+long-tail viewership of Fig. 10."""
+
+
+class _MenuWindow:
+    """Sliding lookahead window over a (possibly endless) menu iterator."""
+
+    def __init__(self, menus: Iterable[ChunkMenu], horizon: int) -> None:
+        if horizon <= 0:
+            raise ValueError("lookahead horizon must be positive")
+        self._iter: Iterator[ChunkMenu] = iter(menus)
+        self._window: Deque[ChunkMenu] = deque()
+        self._horizon = horizon
+        self._fill()
+
+    def _fill(self) -> None:
+        while len(self._window) < self._horizon:
+            try:
+                self._window.append(next(self._iter))
+            except StopIteration:
+                break
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._window
+
+    def peek(self) -> "list[ChunkMenu]":
+        return list(self._window)
+
+    def pop(self) -> ChunkMenu:
+        menu = self._window.popleft()
+        self._fill()
+        return menu
+
+
+def simulate_stream(
+    menus: Iterable[ChunkMenu],
+    abr: AbrAlgorithm,
+    connection: TcpConnection,
+    watch_time_s: float,
+    stream_id: int = 0,
+    expt_id: int = 0,
+    max_buffer_s: float = MAX_BUFFER_S,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    telemetry: Optional[TelemetryLog] = None,
+    extension_hook: Optional[ExtensionHook] = None,
+    start_time: float = 0.0,
+    buffer_report_interval: Optional[float] = None,
+) -> StreamResult:
+    """Simulate one stream and return its :class:`StreamResult`.
+
+    Parameters
+    ----------
+    menus:
+        Iterable of :class:`ChunkMenu` (endless for live TV; bounded for a
+        clip, in which case the stream ends when the clip does).
+    abr:
+        The bitrate-selection scheme under test.
+    connection:
+        TCP connection to the client; reused across a session's streams so
+        congestion state carries over (channel changes keep the connection,
+        §3.2 / Fig. A1).
+    watch_time_s:
+        The viewer's intended wall-clock time on the player.
+    extension_hook:
+        Optional Fig. 10 tail model; see :data:`ExtensionHook`.
+    start_time:
+        Connection-relative time at which this stream begins (later streams
+        of a session start where the previous one left off).
+    buffer_report_interval:
+        When set (Puffer uses 0.25 s), emit periodic ``client_buffer``
+        TIMER records at this interval. Reported buffer levels are the
+        state when the boundary is processed (end of the enclosing event),
+        matching how a client-side timer observes the player.
+    """
+    if watch_time_s < 0:
+        raise ValueError("watch time must be non-negative")
+    abr.begin_stream()
+    result = StreamResult(stream_id=stream_id, scheme_name=abr.name)
+    window = _MenuWindow(menus, lookahead)
+    buffer = PlaybackBuffer(max_buffer_s)
+    t = 0.0  # wall-clock seconds since the stream began
+    limit = watch_time_s
+    playing = False
+    last_ssim: Optional[float] = None
+
+    def log_buffer(event: BufferEvent) -> None:
+        if telemetry is not None:
+            telemetry.client_buffer.append(
+                ClientBufferRecord(
+                    time=start_time + t,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    event=event,
+                    buffer=buffer.level_s,
+                    cum_rebuf=result.stall_time,
+                )
+            )
+
+    next_report = buffer_report_interval
+
+    def emit_timer_reports() -> None:
+        """Quarter-second periodic client reports (Appendix B)."""
+        nonlocal next_report
+        if telemetry is None or buffer_report_interval is None:
+            return
+        while next_report is not None and next_report <= t:
+            telemetry.client_buffer.append(
+                ClientBufferRecord(
+                    time=start_time + next_report,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    event=BufferEvent.TIMER,
+                    buffer=buffer.level_s,
+                    cum_rebuf=result.stall_time,
+                )
+            )
+            next_report += buffer_report_interval
+
+    while True:
+        if t >= limit:
+            if extension_hook is not None:
+                extra = extension_hook(t, result)
+                if extra > 0:
+                    limit = t + extra
+                else:
+                    break
+            else:
+                break
+        if window.exhausted:
+            break  # bounded clip finished
+
+        # Server pauses while the buffer is full; playback continues.
+        duration = window.peek()[0].duration
+        wait = buffer.time_until_room(duration)
+        if wait > 0:
+            wait = min(wait, max(limit - t, 0.0))
+            if wait <= 0:
+                t = limit
+                continue
+            buffer.drain(wait)
+            result.play_time += wait
+            t += wait
+            emit_timer_reports()
+            continue  # re-evaluate the leave condition before choosing
+
+        context = AbrContext(
+            lookahead=window.peek(),
+            buffer_s=buffer.level_s,
+            tcp_info=connection.tcp_info(),
+            history=result.records,
+            last_ssim_db=last_ssim,
+            startup=not playing,
+        )
+        rung = abr.choose(context)
+        menu = window.pop()
+        if not 0 <= rung < len(menu):
+            raise ValueError(
+                f"{abr.name} chose rung {rung}, menu has {len(menu)} versions"
+            )
+        version = menu[rung]
+        send_at = start_time + t
+        tx = connection.transmit(version.size_bytes, send_at)
+        if telemetry is not None:
+            telemetry.video_sent.append(
+                VideoSentRecord.from_send(
+                    time=send_at,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    chunk_index=menu.chunk_index,
+                    size=version.size_bytes,
+                    ssim_index=ssim_db_to_index(version.ssim_db),
+                    info=tx.info_at_send,
+                )
+            )
+        if extension_hook is not None and t + tx.transmission_time >= limit:
+            # The intended watch time elapses during this transmission; ask
+            # the tail model whether the viewer keeps watching.
+            extra = extension_hook(t + tx.transmission_time, result)
+            if extra > 0:
+                limit = t + tx.transmission_time + extra
+        if playing:
+            stall = buffer.drain(tx.transmission_time)
+            play = tx.transmission_time - stall
+            # The viewer leaves at `limit`; anything past it never happened
+            # from their perspective. Within one transmission the buffer
+            # drains (play) first and the stall comes at the end, so clip
+            # the stall before the play time.
+            overshoot = max(t + tx.transmission_time - limit, 0.0)
+            clipped_stall = min(stall, overshoot)
+            stall -= clipped_stall
+            play -= min(overshoot - clipped_stall, play)
+            result.play_time += play
+            if stall > 0:
+                result.stall_time += stall
+                log_buffer(BufferEvent.REBUFFER)
+        t += tx.transmission_time
+        emit_timer_reports()
+        if t >= limit:
+            # Mid-chunk departure: the chunk never finished for the viewer.
+            if not playing:
+                result.never_began = True
+            t = limit
+            break
+        buffer.add(version.duration)
+        if not playing:
+            playing = True
+            result.startup_delay = t
+            log_buffer(BufferEvent.STARTUP)
+        record = ChunkRecord(
+            chunk_index=menu.chunk_index,
+            rung=rung,
+            size_bytes=version.size_bytes,
+            ssim_db=version.ssim_db,
+            transmission_time=tx.transmission_time,
+            info_at_send=tx.info_at_send,
+            send_time=send_at,
+        )
+        result.records.append(record)
+        abr.on_chunk_complete(record)
+        last_ssim = version.ssim_db
+        if telemetry is not None:
+            telemetry.video_acked.append(
+                VideoAckedRecord(
+                    time=start_time + t,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    chunk_index=menu.chunk_index,
+                )
+            )
+        log_buffer(BufferEvent.TIMER)
+
+    # The viewer drains whatever is buffered until they leave or it empties.
+    if playing and t < limit:
+        tail_play = min(buffer.level_s, limit - t)
+        buffer.drain(tail_play)
+        result.play_time += tail_play
+        t += tail_play
+        emit_timer_reports()
+
+    result.total_time = t
+    result.never_began = not playing
+    return result

@@ -1,0 +1,130 @@
+"""Client/server telemetry in the open-data format of Appendix B.
+
+Puffer publishes three measurement tables; the reproduction emits the same
+records from the simulator so analysis code works identically on simulated
+and (hypothetically) real data:
+
+* ``video_sent`` — one row per chunk sent, with the ``tcp_info`` fields;
+* ``video_acked`` — one row per chunk acknowledgement;
+* ``client_buffer`` — buffer level and rebuffer state, sampled every quarter
+  second and on events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import List
+
+from repro.net.tcp import TcpInfo
+
+
+class BufferEvent(str, Enum):
+    """``client_buffer.event`` values."""
+
+    TIMER = "timer"
+    STARTUP = "startup"
+    PLAY = "play"
+    REBUFFER = "rebuffer"
+
+
+@dataclass(frozen=True)
+class VideoSentRecord:
+    """One row of the ``video_sent`` table."""
+
+    time: float
+    stream_id: int
+    expt_id: int
+    chunk_index: int
+    size: float
+    ssim_index: float
+    cwnd: float
+    in_flight: float
+    min_rtt: float
+    rtt: float
+    delivery_rate: float
+
+    @classmethod
+    def from_send(
+        cls,
+        time: float,
+        stream_id: int,
+        expt_id: int,
+        chunk_index: int,
+        size: float,
+        ssim_index: float,
+        info: TcpInfo,
+    ) -> "VideoSentRecord":
+        return cls(
+            time=time,
+            stream_id=stream_id,
+            expt_id=expt_id,
+            chunk_index=chunk_index,
+            size=size,
+            ssim_index=ssim_index,
+            cwnd=info.cwnd,
+            in_flight=info.in_flight,
+            min_rtt=info.min_rtt,
+            rtt=info.rtt,
+            delivery_rate=info.delivery_rate,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class VideoAckedRecord:
+    """One row of the ``video_acked`` table; joined with ``video_sent`` on
+    (stream_id, chunk_index) it yields the chunk's transmission time."""
+
+    time: float
+    stream_id: int
+    expt_id: int
+    chunk_index: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ClientBufferRecord:
+    """One row of the ``client_buffer`` table."""
+
+    time: float
+    stream_id: int
+    expt_id: int
+    event: BufferEvent
+    buffer: float
+    cum_rebuf: float
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["event"] = self.event.value
+        return data
+
+
+@dataclass
+class TelemetryLog:
+    """Accumulates the three tables for one or many streams."""
+
+    video_sent: List[VideoSentRecord]
+    video_acked: List[VideoAckedRecord]
+    client_buffer: List[ClientBufferRecord]
+
+    def __init__(self) -> None:
+        self.video_sent = []
+        self.video_acked = []
+        self.client_buffer = []
+
+    def extend(self, other: "TelemetryLog") -> None:
+        self.video_sent.extend(other.video_sent)
+        self.video_acked.extend(other.video_acked)
+        self.client_buffer.extend(other.client_buffer)
+
+    def __len__(self) -> int:
+        return (
+            len(self.video_sent)
+            + len(self.video_acked)
+            + len(self.client_buffer)
+        )

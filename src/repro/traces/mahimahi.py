@@ -1,0 +1,98 @@
+"""Mahimahi packet-times trace format.
+
+A mahimahi link trace is a text file with one integer per line: the time in
+milliseconds (from trace start) at which the emulated link can deliver one
+MTU-sized (1500-byte) packet. Throughput over any window is therefore the
+packet count in the window times 12,000 bits. mahimahi replays the file in a
+loop [Netravali et al., ATC 2015].
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.net.link import TraceLink
+
+PACKET_BITS = 1500 * 8
+"""Bits delivered per trace line (one MTU packet)."""
+
+
+def read_mahimahi_trace(path: Union[str, Path]) -> List[int]:
+    """Read packet delivery times (ms) from a mahimahi trace file."""
+    times: List[int] = []
+    last = -1
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                value = int(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not an integer timestamp: {line!r}"
+                ) from exc
+            if value < last:
+                raise ValueError(
+                    f"{path}:{lineno}: timestamps must be non-decreasing"
+                )
+            times.append(value)
+            last = value
+    if not times:
+        raise ValueError(f"{path}: empty trace")
+    return times
+
+
+def write_mahimahi_trace(path: Union[str, Path], times_ms: Sequence[int]) -> None:
+    """Write packet delivery times (ms) to a mahimahi trace file."""
+    if not times_ms:
+        raise ValueError("cannot write an empty trace")
+    last = -1
+    for value in times_ms:
+        if value < last:
+            raise ValueError("timestamps must be non-decreasing")
+        last = value
+    Path(path).write_text("\n".join(str(int(t)) for t in times_ms) + "\n")
+
+
+def trace_to_rates(times_ms: Sequence[int], epoch: float = 1.0) -> List[float]:
+    """Convert packet times to per-epoch throughput in bits/s."""
+    if epoch <= 0:
+        raise ValueError("epoch must be positive")
+    if not times_ms:
+        raise ValueError("empty trace")
+    duration_ms = times_ms[-1] + 1
+    n_epochs = max(1, int(-(-duration_ms // int(epoch * 1000))))
+    counts = [0] * n_epochs
+    for t in times_ms:
+        counts[min(int(t / 1000.0 / epoch), n_epochs - 1)] += 1
+    return [c * PACKET_BITS / epoch for c in counts]
+
+
+def rates_to_trace(rates_bps: Sequence[float], epoch: float = 1.0) -> List[int]:
+    """Convert per-epoch throughputs (bits/s) to mahimahi packet times (ms).
+
+    Packets are spread uniformly within each epoch, which is how mahimahi
+    traces are usually synthesized from throughput time series.
+    """
+    if epoch <= 0:
+        raise ValueError("epoch must be positive")
+    times: List[int] = []
+    for i, rate in enumerate(rates_bps):
+        if rate < 0:
+            raise ValueError("rates must be non-negative")
+        n_packets = int(rate * epoch / PACKET_BITS)
+        start_ms = i * epoch * 1000.0
+        for j in range(n_packets):
+            times.append(int(start_ms + (j + 0.5) * epoch * 1000.0 / n_packets))
+    if not times:
+        raise ValueError("trace carries no packets; rates too low")
+    return times
+
+
+def link_from_mahimahi(
+    times_ms: Sequence[int], epoch: float = 1.0, loop: bool = True
+) -> TraceLink:
+    """Build a :class:`TraceLink` replaying a mahimahi trace."""
+    return TraceLink(trace_to_rates(times_ms, epoch), epoch=epoch, loop=loop)

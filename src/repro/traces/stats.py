@@ -1,0 +1,120 @@
+"""Trace statistics.
+
+Used for Fig. 2 (discrete states vs. continuous evolution) and for the
+right-hand panel of Fig. 11 (FCC vs. Puffer throughput distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a throughput time series (bits/s)."""
+
+    mean_bps: float
+    median_bps: float
+    std_bps: float
+    p05_bps: float
+    p95_bps: float
+    coefficient_of_variation: float
+    modality_score: float
+    n_epochs: int
+
+    @property
+    def tail_ratio(self) -> float:
+        """p95/p05 — spread of the distribution's bulk."""
+        if self.p05_bps <= 0:
+            return float("inf")
+        return self.p95_bps / self.p05_bps
+
+
+def _modality_score(rates: np.ndarray, n_bins: Optional[int] = None) -> float:
+    """Heuristic multimodality score of the log-throughput histogram.
+
+    Counts *prominent* modes: local maxima of the smoothed histogram that
+    are separated from every taller accepted mode by a valley dropping
+    below half the smaller mode's height. A CS2P-style discrete-state trace
+    scores >= 2 (one mode per state); the continuous evolution Puffer
+    observes scores ~1 (Fig. 2).
+    """
+    rates = rates[rates > 0]
+    if len(rates) < 10:
+        return 1.0
+    logs = np.log(rates)
+    if logs.max() - logs.min() < 1e-9:
+        return 1.0
+    if n_bins is None:
+        # Sample-size-adaptive bins keep per-bin noise manageable.
+        n_bins = int(np.clip(np.sqrt(len(logs)), 8, 24))
+    hist, _ = np.histogram(logs, bins=n_bins)
+    kernel = np.array([0.25, 0.5, 0.25])
+    smooth = np.convolve(hist, kernel, mode="same")
+    padded = np.concatenate(([0.0], smooth, [0.0]))
+
+    # Local maxima (plateau-aware), tallest first.
+    candidates = []
+    i = 1
+    while i < len(padded) - 1:
+        if padded[i] >= padded[i - 1] and padded[i] > padded[i + 1]:
+            candidates.append((padded[i], i))
+            j = i + 1
+            while j < len(padded) - 1 and padded[j] == padded[i]:
+                j += 1
+            i = j
+        else:
+            i += 1
+    candidates.sort(reverse=True)
+
+    threshold = smooth.max() * 0.20
+    accepted: list = []
+    for height, index in candidates:
+        if height < threshold:
+            continue
+        prominent = True
+        for _, other in accepted:
+            lo, hi = sorted((index, other))
+            valley = padded[lo : hi + 1].min()
+            if valley > 0.5 * height:
+                prominent = False  # merges into the taller mode
+                break
+        if prominent:
+            accepted.append((height, index))
+    return float(max(len(accepted), 1))
+
+
+def summarize_trace(rates_bps: Sequence[float]) -> TraceStats:
+    """Compute :class:`TraceStats` for a throughput time series."""
+    if not len(rates_bps):
+        raise ValueError("empty trace")
+    rates = np.asarray(rates_bps, dtype=float)
+    if np.any(rates < 0):
+        raise ValueError("throughput must be non-negative")
+    mean = float(rates.mean())
+    std = float(rates.std())
+    return TraceStats(
+        mean_bps=mean,
+        median_bps=float(np.median(rates)),
+        std_bps=std,
+        p05_bps=float(np.percentile(rates, 5)),
+        p95_bps=float(np.percentile(rates, 95)),
+        coefficient_of_variation=std / mean if mean > 0 else float("inf"),
+        modality_score=_modality_score(rates),
+        n_epochs=len(rates),
+    )
+
+
+def pooled_throughput_distribution(
+    traces: Sequence[Sequence[float]],
+) -> List[float]:
+    """Pool epochs from many traces into one distribution (Fig. 11, right)."""
+    pooled: List[float] = []
+    for trace in traces:
+        pooled.extend(float(r) for r in trace)
+    if not pooled:
+        raise ValueError("no epochs to pool")
+    return pooled

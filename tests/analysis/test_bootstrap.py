@@ -1,0 +1,131 @@
+"""Tests for repro.analysis.bootstrap — stall-ratio confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    ConfidenceInterval,
+    aggregate_stall_ratio,
+    bootstrap_mean_ci,
+    bootstrap_stall_ratio_ci,
+)
+from repro.streaming.session import StreamResult
+
+
+def stream(play, stall):
+    return StreamResult(0, "x", play_time=play, stall_time=stall)
+
+
+class TestConfidenceInterval:
+    def test_width_and_fraction(self):
+        ci = ConfidenceInterval(point=0.2, low=0.15, high=0.25)
+        assert ci.width == pytest.approx(0.1)
+        assert ci.half_width_fraction == pytest.approx(0.25)
+
+    def test_bracket_enforced(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(point=0.1, low=0.2, high=0.3)
+
+    def test_overlaps(self):
+        a = ConfidenceInterval(0.2, 0.1, 0.3)
+        b = ConfidenceInterval(0.25, 0.2, 0.35)
+        c = ConfidenceInterval(0.5, 0.4, 0.6)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_zero_point_fraction_infinite(self):
+        ci = ConfidenceInterval(0.0, 0.0, 0.0)
+        assert ci.half_width_fraction == float("inf")
+
+
+class TestAggregateStallRatio:
+    def test_ratio_of_sums(self):
+        stalls = np.array([1.0, 0.0])
+        watches = np.array([10.0, 90.0])
+        assert aggregate_stall_ratio(stalls, watches) == pytest.approx(0.01)
+
+    def test_zero_watch_time(self):
+        assert aggregate_stall_ratio(np.array([0.0]), np.array([0.0])) == 0.0
+
+
+class TestBootstrapStallRatio:
+    def make_population(self, n=400, stall_prob=0.05, seed=0):
+        rng = np.random.default_rng(seed)
+        streams = []
+        for _ in range(n):
+            watch = float(np.exp(rng.normal(np.log(300), 1.0)))
+            stall = watch * 0.1 if rng.random() < stall_prob else 0.0
+            streams.append(stream(watch - stall, stall))
+        return streams
+
+    def test_point_estimate_matches_aggregate(self):
+        streams = self.make_population()
+        ci = bootstrap_stall_ratio_ci(streams, n_resamples=200, seed=0)
+        stalls = np.array([s.stall_time for s in streams])
+        watches = np.array([s.watch_time for s in streams])
+        assert ci.point == pytest.approx(aggregate_stall_ratio(stalls, watches))
+
+    def test_interval_brackets_point(self):
+        ci = bootstrap_stall_ratio_ci(self.make_population(), n_resamples=200)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_interval_narrows_with_data(self):
+        small = bootstrap_stall_ratio_ci(
+            self.make_population(200, seed=1), n_resamples=300, seed=1
+        )
+        large = bootstrap_stall_ratio_ci(
+            self.make_population(6400, seed=1), n_resamples=300, seed=1
+        )
+        assert large.half_width_fraction < small.half_width_fraction
+
+    def test_rare_stalls_make_wide_intervals(self):
+        # §3.4: rebuffering rarity creates double-digit relative CI widths
+        # at modest data volumes.
+        streams = self.make_population(500, stall_prob=0.03, seed=2)
+        ci = bootstrap_stall_ratio_ci(streams, n_resamples=400, seed=2)
+        assert ci.half_width_fraction > 0.10
+
+    def test_coverage_of_true_ratio(self):
+        # The 95% CI should usually contain the generating process's true
+        # stall ratio.
+        hits = 0
+        trials = 30
+        for seed in range(trials):
+            streams = self.make_population(800, stall_prob=0.05, seed=seed)
+            ci = bootstrap_stall_ratio_ci(streams, n_resamples=200, seed=seed)
+            if ci.low <= 0.005 <= ci.high:
+                hits += 1
+        assert hits >= trials * 0.75
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_stall_ratio_ci([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_stall_ratio_ci([stream(10, 0)], confidence=1.0)
+
+    def test_deterministic_given_seed(self):
+        streams = self.make_population(100)
+        a = bootstrap_stall_ratio_ci(streams, seed=7)
+        b = bootstrap_stall_ratio_ci(streams, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestBootstrapMean:
+    def test_point_is_weighted_mean(self):
+        ci = bootstrap_mean_ci([1.0, 3.0], weights=[3.0, 1.0], seed=0)
+        assert ci.point == pytest.approx(1.5)
+
+    def test_unweighted_default(self):
+        ci = bootstrap_mean_ci([1.0, 3.0], seed=0)
+        assert ci.point == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0, 2.0], weights=[1.0])

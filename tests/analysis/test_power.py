@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.power — the detectability Monte Carlo (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import (
+    StreamPopulation,
+    detectability_curve,
+    stall_ratio_ci_width,
+)
+
+
+class TestStreamPopulation:
+    def test_true_stall_ratio(self):
+        pop = StreamPopulation(
+            stall_probability=0.05, mean_stall_ratio_when_stalled=0.1
+        )
+        assert pop.true_stall_ratio == pytest.approx(0.005)
+
+    def test_scaled(self):
+        pop = StreamPopulation()
+        improved = pop.scaled(0.8)
+        assert improved.true_stall_ratio == pytest.approx(
+            pop.true_stall_ratio * 0.8
+        )
+
+    def test_sample_shapes_and_signs(self):
+        pop = StreamPopulation()
+        watch, stall = pop.sample(500, np.random.default_rng(0))
+        assert watch.shape == stall.shape == (500,)
+        assert np.all(watch > 0)
+        assert np.all(stall >= 0)
+
+    def test_stalls_are_rare(self):
+        # ~3% of Puffer streams had any stall (§3.4).
+        pop = StreamPopulation(stall_probability=0.03)
+        _, stall = pop.sample(5000, np.random.default_rng(1))
+        assert (stall > 0).mean() == pytest.approx(0.03, abs=0.01)
+
+    def test_empirical_ratio_near_truth(self):
+        pop = StreamPopulation()
+        watch, stall = pop.sample(100_000, np.random.default_rng(2))
+        empirical = stall.sum() / watch.sum()
+        # Ratio-of-sums is watch-weighted, so tolerance is loose.
+        assert empirical == pytest.approx(pop.true_stall_ratio, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamPopulation(stall_probability=0.0)
+        with pytest.raises(ValueError):
+            StreamPopulation().scaled(0.0)
+
+
+class TestCiWidth:
+    def test_interval_brackets_point(self):
+        pop = StreamPopulation()
+        watch, stall = pop.sample(500, np.random.default_rng(3))
+        point, low, high = stall_ratio_ci_width(watch, stall, n_resamples=200)
+        assert low <= point <= high
+
+
+class TestDetectability:
+    def test_detection_improves_with_data(self):
+        points = detectability_curve(
+            improvement=0.5,
+            stream_counts=(100, 3000),
+            n_trials=12,
+            n_resamples=120,
+            seed=0,
+        )
+        assert points[-1].detection_rate >= points[0].detection_rate
+
+    def test_large_effects_detectable_small_not(self):
+        big = detectability_curve(
+            improvement=0.8, stream_counts=(4000,), n_trials=10,
+            n_resamples=120, seed=1,
+        )[0]
+        small = detectability_curve(
+            improvement=0.05, stream_counts=(4000,), n_trials=10,
+            n_resamples=120, seed=1,
+        )[0]
+        assert big.detection_rate > small.detection_rate
+
+    def test_ci_width_shrinks_with_data(self):
+        points = detectability_curve(
+            improvement=0.15, stream_counts=(200, 6400), n_trials=8,
+            n_resamples=100, seed=2,
+        )
+        assert points[1].ci_half_width_fraction < points[0].ci_half_width_fraction
+
+    def test_stream_years_reported(self):
+        points = detectability_curve(
+            improvement=0.15, stream_counts=(100,), n_trials=4,
+            n_resamples=50, seed=3,
+        )
+        assert points[0].stream_years_per_scheme > 0
+
+    def test_invalid_improvement(self):
+        with pytest.raises(ValueError):
+            detectability_curve(improvement=0.0)

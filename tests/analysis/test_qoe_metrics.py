@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.qoe_metrics — Eq. 1 and QoE-lin per stream."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ChunkRecord
+from repro.analysis.qoe_metrics import (
+    QOE_LIN_REBUFFER_PENALTY,
+    mean_qoe,
+    qoe_lin,
+    ssim_qoe,
+    stream_qoe,
+)
+from repro.core.qoe import QoeParams
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+
+def info():
+    return TcpInfo(cwnd=10, in_flight=0, min_rtt=0.05, rtt=0.05, delivery_rate=0)
+
+
+def stream(ssims=(15.0, 15.0), size=500_000, stall=0.0):
+    records = [
+        ChunkRecord(
+            chunk_index=i, rung=5, size_bytes=size, ssim_db=ssim,
+            transmission_time=1.0, info_at_send=info(), send_time=i * 2.0,
+        )
+        for i, ssim in enumerate(ssims)
+    ]
+    return StreamResult(
+        0, "x", records=records,
+        play_time=len(ssims) * 2.002 - stall, stall_time=stall,
+    )
+
+
+class TestSsimQoe:
+    def test_constant_quality_no_stall(self):
+        assert ssim_qoe(stream((15.0, 15.0, 15.0))) == pytest.approx(15.0)
+
+    def test_variation_penalized(self):
+        smooth = ssim_qoe(stream((15.0, 15.0)))
+        jumpy = ssim_qoe(stream((13.0, 17.0)))
+        assert jumpy < smooth
+
+    def test_stall_penalized_at_mu(self):
+        clean = ssim_qoe(stream((15.0, 15.0)))
+        stalled = ssim_qoe(stream((15.0, 15.0), stall=0.1))
+        # µ=100 per stall second, amortized over 2 chunks.
+        assert clean - stalled == pytest.approx(100.0 * 0.1 / 2)
+
+    def test_custom_params(self):
+        params = QoeParams(variation_weight=0.0, stall_weight=0.0)
+        assert ssim_qoe(stream((10.0, 20.0)), params) == pytest.approx(15.0)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ssim_qoe(StreamResult(0, "x"))
+
+
+class TestQoeLin:
+    def test_bitrate_reward(self):
+        # 500 kB / 2.002 s ~ 2 Mbit/s per chunk.
+        value = qoe_lin(stream((15.0, 15.0)))
+        assert value == pytest.approx(500_000 * 8 / 2.002 / 1e6, rel=1e-6)
+
+    def test_rebuffer_penalty(self):
+        clean = qoe_lin(stream((15.0, 15.0)))
+        stalled = qoe_lin(stream((15.0, 15.0), stall=1.0))
+        assert clean - stalled == pytest.approx(
+            QOE_LIN_REBUFFER_PENALTY / 2
+        )
+
+    def test_blind_to_ssim(self):
+        # Same sizes, different quality: QoE-lin cannot tell them apart —
+        # the Fig. 4 blind spot.
+        low = qoe_lin(stream((10.0, 10.0)))
+        high = qoe_lin(stream((18.0, 18.0)))
+        assert low == pytest.approx(high)
+
+    def test_ssim_qoe_is_not_blind(self):
+        low = ssim_qoe(stream((10.0, 10.0)))
+        high = ssim_qoe(stream((18.0, 18.0)))
+        assert high > low
+
+
+class TestAggregation:
+    def test_stream_qoe_bundle(self):
+        bundle = stream_qoe(stream((15.0, 16.0)))
+        assert bundle.n_chunks == 2
+        assert np.isfinite(bundle.ssim_qoe_per_chunk)
+        assert np.isfinite(bundle.qoe_lin_per_chunk)
+
+    def test_mean_qoe_weights_by_watch_time(self):
+        short = stream((10.0,))
+        long = stream((20.0,) * 10)
+        combined = mean_qoe([short, long])
+        assert combined.ssim_qoe_per_chunk > 15.0  # long stream dominates
+
+    def test_mean_qoe_skips_empty(self):
+        played = stream((15.0, 15.0))
+        empty = StreamResult(1, "x")
+        assert mean_qoe([played, empty]).n_chunks == 2
+
+    def test_mean_qoe_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_qoe([StreamResult(0, "x")])

@@ -1,0 +1,103 @@
+"""Tests for repro.analysis.summary — Fig. 1 rows and slow-path splits."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ChunkRecord
+from repro.analysis.summary import (
+    results_table,
+    split_slow_paths,
+    summarize_scheme,
+)
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+
+def make_stream(
+    stream_id=0, ssim=16.0, play=100.0, stall=0.0, delivery=1e7, n_chunks=10
+):
+    info = TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery)
+    records = [
+        ChunkRecord(
+            chunk_index=i, rung=5, size_bytes=5e5, ssim_db=ssim,
+            transmission_time=1.0, info_at_send=info, send_time=i * 2.0,
+        )
+        for i in range(n_chunks)
+    ]
+    return StreamResult(
+        stream_id, "x", records=records, play_time=play, stall_time=stall,
+        startup_delay=0.5, total_time=play + stall,
+    )
+
+
+class TestSummarize:
+    def test_row_fields(self):
+        streams = [make_stream(i) for i in range(20)]
+        row = summarize_scheme("x", streams, n_resamples=100)
+        assert row.n_streams == 20
+        assert row.mean_ssim_db.point == pytest.approx(16.0)
+        assert row.stall_ratio.point == 0.0
+        assert row.ssim_variation_db == 0.0
+        assert row.startup_delay_s == pytest.approx(0.5)
+        assert row.first_chunk_ssim_db == pytest.approx(16.0)
+
+    def test_stall_ratio_weighted_by_watch_time(self):
+        streams = [
+            make_stream(0, play=95.0, stall=5.0),
+            make_stream(1, play=900.0, stall=0.0),
+        ]
+        row = summarize_scheme("x", streams, n_resamples=100)
+        assert row.stall_ratio.point == pytest.approx(5.0 / 1000.0)
+        assert row.fraction_streams_with_stall == pytest.approx(0.5)
+
+    def test_ssim_weighted_by_duration(self):
+        streams = [
+            make_stream(0, ssim=10.0, play=100.0),
+            make_stream(1, ssim=20.0, play=300.0),
+        ]
+        row = summarize_scheme("x", streams, n_resamples=100)
+        assert row.mean_ssim_db.point == pytest.approx(17.5)
+
+    def test_session_durations_optional(self):
+        streams = [make_stream(i) for i in range(5)]
+        row = summarize_scheme("x", streams, session_durations=[60.0, 120.0],
+                               n_resamples=50)
+        assert row.mean_session_duration_s is not None
+        assert row.mean_session_duration_s.point == pytest.approx(90.0)
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_scheme("x", [])
+
+    def test_stream_years_accumulates(self):
+        streams = [make_stream(i, play=365.25 * 24 * 3600.0 / 10) for i in range(10)]
+        row = summarize_scheme("x", streams, n_resamples=50)
+        assert row.stream_years == pytest.approx(1.0)
+
+
+class TestSlowPaths:
+    def test_split_by_delivery_rate(self):
+        slow = make_stream(0, delivery=2e6)
+        fast = make_stream(1, delivery=2e7)
+        slows, fasts = split_slow_paths([slow, fast])
+        assert slows == [slow]
+        assert fasts == [fast]
+
+    def test_threshold_configurable(self):
+        s = make_stream(0, delivery=8e6)
+        slows, _ = split_slow_paths([s], threshold_bps=1e7)
+        assert slows == [s]
+
+
+class TestResultsTable:
+    def test_table_shape(self):
+        streams = [make_stream(i) for i in range(10)]
+        row = summarize_scheme("fugu", streams, session_durations=[60.0] * 3,
+                               n_resamples=50)
+        table = results_table([row])
+        assert "fugu" in table
+        cols = table["fugu"]
+        assert cols["time_stalled_percent"] == 0.0
+        assert cols["mean_ssim_db"] == pytest.approx(16.0)
+        assert cols["mean_duration_min"] == pytest.approx(1.0)

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Registers a hypothesis profile suited to simulation-heavy property tests:
+no per-example deadline (a single example may run a short simulation) and a
+bounded example count so the suite stays fast.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,179 @@
+"""Tests for repro.core.controller — stochastic value-iteration MPC."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import AbrContext
+from repro.core.controller import (
+    TimeDistribution,
+    ValueIterationController,
+)
+from repro.core.qoe import QoeParams
+from repro.media.encoder import encode_clip
+from repro.media.source import DEFAULT_CHANNELS
+from repro.net.tcp import TcpInfo
+
+
+def info():
+    return TcpInfo(cwnd=10, in_flight=0, min_rtt=0.05, rtt=0.05, delivery_rate=0)
+
+
+def ctx(buffer_s=10.0, last_ssim=None, seed=0, n=8):
+    menus = encode_clip(DEFAULT_CHANNELS[0], n, seed=seed)
+    return AbrContext(
+        lookahead=menus, buffer_s=buffer_s, tcp_info=info(),
+        last_ssim_db=last_ssim,
+    )
+
+
+class ConstantThroughputModel:
+    """Deterministic model: transmission time = size / throughput."""
+
+    def __init__(self, throughput_bps):
+        self.throughput_bps = throughput_bps
+
+    def predict(self, context, step, sizes_bytes):
+        times = np.asarray(sizes_bytes) * 8.0 / self.throughput_bps
+        return TimeDistribution.point_mass(times)
+
+
+class BimodalModel:
+    """Fast most of the time, occasionally catastrophic — stresses the
+    stochastic planning that distinguishes Fugu from point-estimate MPC."""
+
+    def __init__(self, slow_probability, slow_time=20.0):
+        self.slow_probability = slow_probability
+        self.slow_time = slow_time
+
+    def predict(self, context, step, sizes_bytes):
+        sizes = np.asarray(sizes_bytes, dtype=float)
+        fast = sizes * 8.0 / 50e6
+        times = np.stack([fast, np.full_like(fast, self.slow_time)], axis=1)
+        probs = np.tile(
+            [1.0 - self.slow_probability, self.slow_probability],
+            (len(sizes), 1),
+        )
+        return TimeDistribution(times=times, probs=probs)
+
+
+class TestTimeDistribution:
+    def test_point_mass(self):
+        dist = TimeDistribution.point_mass([1.0, 2.0])
+        assert dist.times.shape == (2, 1)
+        np.testing.assert_array_equal(dist.probs, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeDistribution(times=np.zeros((2, 3)), probs=np.zeros((2, 2)))
+
+    def test_validate_checks_probabilities(self):
+        dist = TimeDistribution(
+            times=np.ones((1, 2)), probs=np.array([[0.7, 0.7]])
+        )
+        with pytest.raises(ValueError, match="sum to 1"):
+            dist.validate()
+
+    def test_validate_checks_negative_times(self):
+        dist = TimeDistribution(
+            times=np.array([[-1.0]]), probs=np.array([[1.0]])
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            dist.validate()
+
+
+class TestPlanning:
+    def test_fast_network_picks_top_rung(self):
+        controller = ValueIterationController()
+        choice = controller.plan(ctx(buffer_s=13.0), ConstantThroughputModel(100e6))
+        assert choice == 9
+
+    def test_slow_network_picks_bottom_rung(self):
+        controller = ValueIterationController()
+        choice = controller.plan(ctx(buffer_s=1.0), ConstantThroughputModel(2e5))
+        assert choice == 0
+
+    def test_choice_monotone_in_throughput(self):
+        controller = ValueIterationController()
+        choices = [
+            controller.plan(ctx(buffer_s=8.0), ConstantThroughputModel(r))
+            for r in (3e5, 1e6, 3e6, 1e7, 4e7)
+        ]
+        assert choices == sorted(choices)
+
+    def test_variation_penalty_smooths_upgrades(self):
+        # Coming from a low-SSIM chunk, a huge λ forbids large jumps.
+        smooth = ValueIterationController(
+            qoe=QoeParams(variation_weight=50.0)
+        )
+        eager = ValueIterationController(qoe=QoeParams(variation_weight=0.0))
+        c_smooth = smooth.plan(
+            ctx(buffer_s=13.0, last_ssim=7.0), ConstantThroughputModel(50e6)
+        )
+        c_eager = eager.plan(
+            ctx(buffer_s=13.0, last_ssim=7.0), ConstantThroughputModel(50e6)
+        )
+        assert c_smooth < c_eager
+
+    def test_stochastic_tail_risk_lowers_choice(self):
+        # A 3% chance of a 20 s transfer should deter high rungs when the
+        # buffer is shallow but not when it is deep... with Eq. 1 the stall
+        # penalty applies either way, so compare against a tail-free model.
+        controller = ValueIterationController()
+        risky = controller.plan(ctx(buffer_s=6.0), BimodalModel(0.03))
+        safe = controller.plan(ctx(buffer_s=6.0), ConstantThroughputModel(50e6))
+        assert risky <= safe
+
+    def test_deeper_buffer_absorbs_tail_risk(self):
+        controller = ValueIterationController()
+        shallow = controller.plan(ctx(buffer_s=2.0), BimodalModel(0.05, 14.0))
+        deep = controller.plan(ctx(buffer_s=14.0), BimodalModel(0.05, 14.0))
+        assert shallow <= deep
+
+    def test_horizon_capped_by_lookahead(self):
+        controller = ValueIterationController(horizon=5)
+        short_ctx = ctx(n=2)
+        choice = controller.plan(short_ctx, ConstantThroughputModel(1e7))
+        assert 0 <= choice < 10
+
+    def test_empty_lookahead_rejected(self):
+        controller = ValueIterationController()
+        context = ctx()
+        context.lookahead = []
+        with pytest.raises(ValueError):
+            controller.plan(context, ConstantThroughputModel(1e7))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ValueIterationController(horizon=0)
+        with pytest.raises(ValueError):
+            ValueIterationController(buffer_bin_s=0.0)
+
+    def test_single_step_horizon_matches_greedy(self):
+        # With H=1 and a deterministic model, the plan maximizes Eq. 1
+        # chunk-by-chunk; verify against brute force.
+        from repro.core.qoe import DEFAULT_QOE, chunk_qoe
+
+        controller = ValueIterationController(horizon=1)
+        context = ctx(buffer_s=4.0, last_ssim=12.0, seed=3)
+        model = ConstantThroughputModel(3e6)
+        menu = context.menu
+        scores = [
+            chunk_qoe(
+                DEFAULT_QOE,
+                v.ssim_db,
+                12.0,
+                v.size_bytes * 8.0 / 3e6,
+                4.0,
+            )
+            for v in menu
+        ]
+        assert controller.plan(context, model) == int(np.argmax(scores))
+
+    def test_wrong_model_output_shape_rejected(self):
+        class BadModel:
+            def predict(self, context, step, sizes_bytes):
+                return TimeDistribution.point_mass([1.0])  # wrong n
+
+        controller = ValueIterationController()
+        with pytest.raises(ValueError, match="wrong number"):
+            controller.plan(ctx(), BadModel())

@@ -1,0 +1,129 @@
+"""Tests for repro.core.fugu — the assembled scheme and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import AbrContext, ChunkRecord
+from repro.core.fugu import Fugu, make_fugu, make_fugu_variant
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+from repro.media.encoder import encode_clip
+from repro.media.source import DEFAULT_CHANNELS
+from repro.net.tcp import TcpInfo
+
+
+def info(delivery_rate=5e6):
+    return TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery_rate)
+
+
+def ctx(buffer_s=10.0, seed=0):
+    menus = encode_clip(DEFAULT_CHANNELS[0], 8, seed=seed)
+    return AbrContext(lookahead=menus, buffer_s=buffer_s, tcp_info=info())
+
+
+class TestFugu:
+    def test_choose_returns_valid_rung(self):
+        fugu = make_fugu(seed=0)
+        choice = fugu.choose(ctx())
+        assert 0 <= choice < 10
+
+    def test_name_default(self):
+        assert make_fugu(seed=0).name == "fugu"
+
+    def test_horizon_cannot_exceed_ttp(self):
+        predictor = TransmissionTimePredictor(TtpConfig(horizon=3), seed=0)
+        with pytest.raises(ValueError):
+            Fugu(predictor, horizon=5)
+
+    def test_horizon_defaults_to_ttp_horizon(self):
+        predictor = TransmissionTimePredictor(TtpConfig(horizon=3), seed=0)
+        fugu = Fugu(predictor)
+        assert fugu.controller.horizon == 3
+
+    def test_trained_fugu_tracks_network_speed(self):
+        # Train a tiny TTP on synthetic data where time = size / rate with
+        # rate given by delivery_rate; Fugu should then pick high rungs on
+        # fast paths and low rungs on slow ones.
+        from repro.core.train import TtpTrainer, build_ttp_datasets
+        from repro.streaming.session import StreamResult
+
+        predictor = TransmissionTimePredictor(TtpConfig(horizon=5), seed=0)
+        streams = []
+        rng = np.random.default_rng(0)
+        for s in range(24):
+            rate = float(rng.choice([5e5, 2e6, 8e6, 3e7]))
+            records = []
+            for i in range(30):
+                size = float(rng.uniform(5e4, 1.6e6))
+                records.append(
+                    ChunkRecord(
+                        chunk_index=i, rung=5, size_bytes=size, ssim_db=15.0,
+                        transmission_time=size * 8 / rate,
+                        info_at_send=info(delivery_rate=rate),
+                        send_time=i * 2.0,
+                    )
+                )
+            streams.append(StreamResult(s, "x", records=records))
+        TtpTrainer(predictor, epochs=10, seed=0).train(
+            build_ttp_datasets(streams, predictor)
+        )
+        fugu = Fugu(predictor)
+
+        def choice_with_rate(rate):
+            menus = encode_clip(DEFAULT_CHANNELS[0], 8, seed=1)
+            history = [
+                ChunkRecord(
+                    chunk_index=i, rung=5, size_bytes=5e5, ssim_db=15.0,
+                    transmission_time=5e5 * 8 / rate,
+                    info_at_send=info(delivery_rate=rate), send_time=i * 2.0,
+                )
+                for i in range(8)
+            ]
+            context = AbrContext(
+                lookahead=menus, buffer_s=10.0,
+                tcp_info=info(delivery_rate=rate), history=history,
+            )
+            return fugu.choose(context)
+
+        assert choice_with_rate(3e7) > choice_with_rate(5e5)
+
+
+class TestVariants:
+    def test_all_variants_constructible(self):
+        for variant in (
+            "full", "point_estimate", "throughput", "linear", "shallow",
+            "no_tcp", "no_rtt", "no_cwnd", "no_in_flight",
+            "no_delivery_rate",
+        ):
+            predictor, name = make_fugu_variant(variant, seed=0)
+            assert predictor.config.horizon == 5
+            if variant == "full":
+                assert name == "fugu"
+            else:
+                assert name == f"fugu_{variant}"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown Fugu variant"):
+            make_fugu_variant("bogus")
+
+    def test_linear_variant_has_no_hidden_layers(self):
+        predictor, _ = make_fugu_variant("linear", seed=0)
+        assert predictor.config.hidden == ()
+
+    def test_point_estimate_variant_flag(self):
+        predictor, _ = make_fugu_variant("point_estimate", seed=0)
+        assert predictor.config.point_estimate
+
+    def test_variant_schemes_run_end_to_end(self):
+        from repro.net.link import ConstantLink
+        from repro.net.tcp import TcpConnection
+        from repro.streaming.simulator import simulate_stream
+
+        for variant in ("full", "point_estimate", "throughput", "linear"):
+            fugu = make_fugu(variant, seed=0)
+            conn = TcpConnection(ConstantLink(6e6), base_rtt=0.05)
+            result = simulate_stream(
+                iter(encode_clip(DEFAULT_CHANNELS[0], 30, seed=0)),
+                fugu, conn, watch_time_s=40.0,
+            )
+            assert len(result.records) > 0

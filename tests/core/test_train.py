@@ -1,0 +1,160 @@
+"""Tests for repro.core.train — datasets, TTP training, daily retraining."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ChunkRecord
+from repro.core.train import (
+    DailyRetrainer,
+    TtpTrainer,
+    build_ttp_datasets,
+)
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+
+def info(delivery_rate=5e6):
+    return TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery_rate)
+
+
+def make_stream(n_chunks=20, stream_id=0, tx=1.0):
+    records = [
+        ChunkRecord(
+            chunk_index=i, rung=5, size_bytes=500_000 + 1000 * i,
+            ssim_db=15.0, transmission_time=tx, info_at_send=info(),
+            send_time=i * 2.0,
+        )
+        for i in range(n_chunks)
+    ]
+    return StreamResult(stream_id, "x", records=records)
+
+
+class TestBuildDatasets:
+    def test_one_dataset_per_horizon_step(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=3), seed=0)
+        datasets = build_ttp_datasets([make_stream(10)], ttp)
+        assert len(datasets) == 3
+
+    def test_example_counts_decrease_with_step(self):
+        # Step k needs chunk i+k to exist, so later steps have fewer rows.
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=3), seed=0)
+        datasets = build_ttp_datasets([make_stream(10)], ttp)
+        lengths = [len(d) for d in datasets]
+        assert lengths == [10, 9, 8]
+
+    def test_labels_match_bins(self):
+        from repro.core.features import time_bin_index
+
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        datasets = build_ttp_datasets([make_stream(5, tx=2.0)], ttp)
+        assert all(t == time_bin_index(2.0) for t in datasets[0].targets)
+
+    def test_sample_weight_applied(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        datasets = build_ttp_datasets([make_stream(5)], ttp, sample_weight=0.25)
+        np.testing.assert_array_equal(datasets[0].weights, 0.25)
+
+    def test_too_short_streams_rejected(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=5), seed=0)
+        with pytest.raises(ValueError, match="no training examples"):
+            build_ttp_datasets([make_stream(3)], ttp)
+
+    def test_feature_masking_applied(self):
+        ttp = TransmissionTimePredictor(
+            TtpConfig(horizon=1, ablated_features=frozenset({"tcp"})), seed=0
+        )
+        datasets = build_ttp_datasets([make_stream(5)], ttp)
+        from repro.core.features import TCP_SLICE
+
+        assert np.all(datasets[0].features[:, TCP_SLICE] == 0.0)
+
+
+class TestTtpTrainer:
+    def test_training_reduces_loss(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=2), seed=0)
+        streams = [make_stream(30, stream_id=i, tx=1.0 + i * 0.1) for i in range(5)]
+        datasets = build_ttp_datasets(streams, ttp)
+        trainer = TtpTrainer(ttp, epochs=8, seed=0)
+        reports = trainer.train(datasets)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.train_losses[-1] < report.train_losses[0]
+
+    def test_wrong_dataset_count_rejected(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=2), seed=0)
+        datasets = build_ttp_datasets([make_stream(10)], ttp)
+        with pytest.raises(ValueError):
+            TtpTrainer(ttp).train(datasets[:1])
+
+    def test_evaluate_reports_metrics(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        datasets = build_ttp_datasets([make_stream(40)], ttp)
+        trainer = TtpTrainer(ttp, epochs=10, seed=0)
+        trainer.train(datasets)
+        evaluation = trainer.evaluate(datasets[0], step=0)
+        assert 0.0 <= evaluation.bin_accuracy <= 1.0
+        assert evaluation.cross_entropy >= 0.0
+        assert evaluation.n_examples == 40
+
+    def test_trained_ttp_beats_untrained_on_accuracy(self):
+        config = TtpConfig(horizon=1)
+        trained = TransmissionTimePredictor(config, seed=0)
+        streams = [make_stream(50, stream_id=i) for i in range(4)]
+        datasets = build_ttp_datasets(streams, trained)
+        trainer = TtpTrainer(trained, epochs=10, seed=0)
+        trainer.train(datasets)
+        trained_eval = trainer.evaluate(datasets[0])
+        untrained = TransmissionTimePredictor(config, seed=1)
+        untrained_eval = TtpTrainer(untrained).evaluate(datasets[0])
+        assert trained_eval.cross_entropy < untrained_eval.cross_entropy
+
+
+class TestDailyRetrainer:
+    def test_window_eviction(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        retrainer = DailyRetrainer(ttp, window_days=3, epochs_per_day=1)
+        for day in range(5):
+            retrainer.add_day([make_stream(10, stream_id=day)])
+        assert len(retrainer._days) == 3
+        assert retrainer.current_day == 5
+
+    def test_retrain_without_data_raises(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        with pytest.raises(RuntimeError):
+            DailyRetrainer(ttp).retrain()
+
+    def test_recency_weighting(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        retrainer = DailyRetrainer(
+            ttp, window_days=14, recency_decay=0.5, epochs_per_day=1
+        )
+        retrainer.add_day([make_stream(6, stream_id=0)])
+        retrainer.add_day([make_stream(6, stream_id=1)])
+        # Peek at the weights the next retrain would use.
+        datasets = None
+        reports = retrainer.retrain()
+        assert reports  # trained without error
+
+    def test_snapshots_are_frozen(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        retrainer = DailyRetrainer(ttp, epochs_per_day=2)
+        retrainer.add_day([make_stream(20, stream_id=0)])
+        retrainer.retrain()
+        snapshot = retrainer.snapshot()
+        sizes = np.array([5e5])
+        before = snapshot.distribution([], info(), sizes).probs.copy()
+        retrainer.add_day([make_stream(20, stream_id=1, tx=5.0)])
+        retrainer.retrain()
+        after_snapshot = snapshot.distribution([], info(), sizes).probs
+        after_live = ttp.distribution([], info(), sizes).probs
+        np.testing.assert_allclose(before, after_snapshot)
+        assert not np.allclose(before, after_live)
+
+    def test_invalid_parameters(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=1), seed=0)
+        with pytest.raises(ValueError):
+            DailyRetrainer(ttp, window_days=0)
+        with pytest.raises(ValueError):
+            DailyRetrainer(ttp, recency_decay=0.0)

@@ -1,0 +1,190 @@
+"""Tests for repro.core.ttp — the Transmission Time Predictor and its
+ablated variants (§4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ChunkRecord
+from repro.core.features import N_TIME_BINS, TCP_FEATURE_INDEX
+from repro.core.ttp import (
+    TransmissionTimePredictor,
+    TtpConfig,
+    throughput_bin_centers_bps,
+    throughput_bin_index,
+)
+from repro.net.tcp import TcpInfo
+
+
+def info(delivery_rate=5e6):
+    return TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery_rate)
+
+
+def record(i, size=500_000, tx=1.0):
+    return ChunkRecord(
+        chunk_index=i, rung=5, size_bytes=size, ssim_db=15.0,
+        transmission_time=tx, info_at_send=info(), send_time=0.0,
+    )
+
+
+class TestConfig:
+    def test_paper_architecture_defaults(self):
+        config = TtpConfig()
+        assert config.horizon == 5
+        assert config.hidden == (64, 64)
+        assert config.n_output_bins == 21
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError, match="unknown ablated"):
+            TtpConfig(ablated_features=frozenset({"bogus"}))
+
+    def test_feature_mask_tcp(self):
+        mask = TtpConfig(ablated_features=frozenset({"tcp"})).feature_mask()
+        for index in TCP_FEATURE_INDEX.values():
+            assert mask[index] == 0.0
+        assert mask[:16].sum() == 16  # history untouched
+
+    def test_feature_mask_single_stat(self):
+        mask = TtpConfig(ablated_features=frozenset({"rtt"})).feature_mask()
+        assert mask[TCP_FEATURE_INDEX["rtt"]] == 0.0
+        assert mask[TCP_FEATURE_INDEX["cwnd"]] == 1.0
+
+    def test_throughput_variant_masks_proposed_size(self):
+        mask = TtpConfig(predict_throughput=True).feature_mask()
+        assert mask[-1] == 0.0
+
+
+class TestThroughputBins:
+    def test_bin_index_monotone(self):
+        assert throughput_bin_index(1e5) <= throughput_bin_index(1e6)
+        assert throughput_bin_index(1e6) <= throughput_bin_index(1e8)
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ValueError):
+            throughput_bin_index(0.0)
+
+    def test_centers_within_edges(self):
+        centers = throughput_bin_centers_bps()
+        assert len(centers) == N_TIME_BINS
+        assert all(a < b for a, b in zip(centers, centers[1:]))
+
+
+class TestPredictor:
+    def test_one_model_per_horizon_step(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=5), seed=0)
+        assert len(ttp.models) == 5
+
+    def test_distribution_shape_and_normalization(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        sizes = np.array([1e5, 5e5, 1.5e6])
+        dist = ttp.distribution([record(0)], info(), sizes, step=0)
+        assert dist.times.shape == (3, 21)
+        np.testing.assert_allclose(dist.probs.sum(axis=1), 1.0)
+        dist.validate()
+
+    def test_invalid_step_rejected(self):
+        ttp = TransmissionTimePredictor(TtpConfig(horizon=2), seed=0)
+        with pytest.raises(ValueError):
+            ttp.distribution([], info(), np.array([1e5]), step=2)
+
+    def test_point_estimate_variant_single_outcome(self):
+        ttp = TransmissionTimePredictor(
+            TtpConfig(point_estimate=True), seed=0
+        )
+        dist = ttp.distribution([], info(), np.array([1e5, 5e5]))
+        assert dist.times.shape == (2, 1)
+        np.testing.assert_array_equal(dist.probs, 1.0)
+
+    def test_throughput_variant_times_scale_with_size(self):
+        ttp = TransmissionTimePredictor(
+            TtpConfig(predict_throughput=True), seed=0
+        )
+        dist = ttp.distribution([], info(), np.array([1e5, 2e5]))
+        # Same throughput bins, so times double with size.
+        np.testing.assert_allclose(dist.times[1], 2 * dist.times[0])
+        # And the probabilities are identical (size is masked out).
+        np.testing.assert_allclose(dist.probs[0], dist.probs[1])
+
+    def test_label_for_time_vs_throughput(self):
+        time_ttp = TransmissionTimePredictor(seed=0)
+        tput_ttp = TransmissionTimePredictor(
+            TtpConfig(predict_throughput=True), seed=0
+        )
+        r = record(0, size=500_000, tx=2.0)  # 2 Mbps
+        assert time_ttp.label_for(r) == 4  # [1.75, 2.25)
+        assert tput_ttp.label_for(r) == throughput_bin_index(2e6)
+
+    def test_ablated_features_ignored_at_inference(self):
+        ttp = TransmissionTimePredictor(
+            TtpConfig(ablated_features=frozenset({"tcp"})), seed=0
+        )
+        sizes = np.array([5e5])
+        a = ttp.distribution([], info(delivery_rate=1e5), sizes)
+        b = ttp.distribution([], info(delivery_rate=5e7), sizes)
+        np.testing.assert_allclose(a.probs, b.probs)
+
+    def test_full_ttp_sensitive_to_tcp_state(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        sizes = np.array([5e5])
+        a = ttp.distribution([], info(delivery_rate=1e5), sizes)
+        b = ttp.distribution([], info(delivery_rate=5e7), sizes)
+        assert not np.allclose(a.probs, b.probs)
+
+    def test_state_round_trip(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        clone = TransmissionTimePredictor(seed=99)
+        clone.load_state_dict(ttp.state_dict())
+        sizes = np.array([5e5])
+        np.testing.assert_allclose(
+            clone.distribution([], info(), sizes).probs,
+            ttp.distribution([], info(), sizes).probs,
+        )
+
+    def test_copy_is_frozen_snapshot(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        snapshot = ttp.copy()
+        for model in ttp.models:
+            for _, value, __ in model.parameters():
+                value += 1.0
+        sizes = np.array([5e5])
+        assert not np.allclose(
+            snapshot.distribution([], info(), sizes).probs,
+            ttp.distribution([], info(), sizes).probs,
+        )
+
+    def test_horizon_mismatch_on_load(self):
+        a = TransmissionTimePredictor(TtpConfig(horizon=3), seed=0)
+        b = TransmissionTimePredictor(TtpConfig(horizon=5), seed=0)
+        with pytest.raises(ValueError, match="horizon mismatch"):
+            b.load_state_dict(a.state_dict())
+
+
+class TestTailCalibration:
+    def test_default_tail_center(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        assert ttp.tail_center_s == 16.0
+
+    def test_calibrate_uses_empirical_mean(self):
+        from repro.streaming.session import StreamResult
+
+        ttp = TransmissionTimePredictor(seed=0)
+        stream = StreamResult(0, "x", records=[
+            record(0, tx=1.0), record(1, tx=20.0), record(2, tx=30.0),
+        ])
+        tail = ttp.calibrate_tail([stream])
+        assert tail == pytest.approx(25.0)
+
+    def test_calibrate_caps_extremes(self):
+        from repro.streaming.session import StreamResult
+
+        ttp = TransmissionTimePredictor(seed=0)
+        stream = StreamResult(0, "x", records=[record(0, tx=500.0)])
+        assert ttp.calibrate_tail([stream], cap_s=60.0) == pytest.approx(60.0)
+
+    def test_calibrate_no_tail_samples_is_noop(self):
+        from repro.streaming.session import StreamResult
+
+        ttp = TransmissionTimePredictor(seed=0)
+        before = ttp.tail_center_s
+        stream = StreamResult(0, "x", records=[record(0, tx=1.0)])
+        assert ttp.calibrate_tail([stream]) == before

@@ -1,0 +1,116 @@
+"""Tests for repro.data.archive — Appendix B CSV round-trips and joins."""
+
+import numpy as np
+import pytest
+
+from repro.abr.bba import BBA
+from repro.data import load_archive_day, reconstruct_streams, write_archive_day
+from repro.data.archive import ArchiveDay
+from repro.media.encoder import encode_clip
+from repro.media.source import DEFAULT_CHANNELS
+from repro.net.link import ConstantLink, HeavyTailLink
+from repro.net.tcp import TcpConnection
+from repro.streaming import TelemetryLog, simulate_stream
+
+
+@pytest.fixture()
+def telemetry():
+    log = TelemetryLog()
+    for stream_id, base in ((1, 2e7), (2, 8e5)):
+        conn = TcpConnection(HeavyTailLink(base_bps=base, seed=stream_id),
+                             base_rtt=0.05)
+        simulate_stream(
+            iter(encode_clip(DEFAULT_CHANNELS[0], 100, seed=stream_id)),
+            BBA(),
+            conn,
+            watch_time_s=60.0,
+            stream_id=stream_id,
+            expt_id=stream_id + 10,
+            telemetry=log,
+        )
+    return log
+
+
+class TestRoundTrip:
+    def test_write_creates_three_tables(self, telemetry, tmp_path):
+        day = write_archive_day(telemetry, tmp_path / "2026-07-07")
+        assert day.video_sent.exists()
+        assert day.video_acked.exists()
+        assert day.client_buffer.exists()
+
+    def test_round_trip_preserves_rows(self, telemetry, tmp_path):
+        write_archive_day(telemetry, tmp_path)
+        loaded = load_archive_day(tmp_path)
+        assert len(loaded.video_sent) == len(telemetry.video_sent)
+        assert len(loaded.video_acked) == len(telemetry.video_acked)
+        assert len(loaded.client_buffer) == len(telemetry.client_buffer)
+
+    def test_round_trip_preserves_values(self, telemetry, tmp_path):
+        write_archive_day(telemetry, tmp_path)
+        loaded = load_archive_day(tmp_path)
+        original = telemetry.video_sent[0]
+        restored = loaded.video_sent[0]
+        assert restored.time == pytest.approx(original.time)
+        assert restored.size == pytest.approx(original.size)
+        assert restored.delivery_rate == pytest.approx(original.delivery_rate)
+        assert restored.stream_id == original.stream_id
+
+    def test_missing_table_rejected(self, telemetry, tmp_path):
+        day = write_archive_day(telemetry, tmp_path)
+        day.video_acked.unlink()
+        with pytest.raises(FileNotFoundError):
+            load_archive_day(tmp_path)
+
+    def test_wrong_columns_rejected(self, telemetry, tmp_path):
+        day = write_archive_day(telemetry, tmp_path)
+        day.video_sent.write_text("bogus,columns\n1,2\n")
+        with pytest.raises(ValueError, match="unexpected columns"):
+            load_archive_day(tmp_path)
+
+    def test_buffer_events_survive(self, telemetry, tmp_path):
+        write_archive_day(telemetry, tmp_path)
+        loaded = load_archive_day(tmp_path)
+        events = {r.event for r in loaded.client_buffer}
+        assert events == {r.event for r in telemetry.client_buffer}
+
+
+class TestReconstruction:
+    def test_streams_split_correctly(self, telemetry):
+        streams = reconstruct_streams(telemetry)
+        assert set(streams) == {1, 2}
+        assert streams[1].expt_id == 11
+        assert streams[2].expt_id == 12
+
+    def test_transmission_times_positive(self, telemetry):
+        streams = reconstruct_streams(telemetry)
+        for stream in streams.values():
+            assert stream.n_chunks_acked > 0
+            assert all(
+                t > 0 for t in stream.chunk_transmission_times.values()
+            )
+
+    def test_throughputs_reflect_path_speed(self, telemetry):
+        streams = reconstruct_streams(telemetry)
+        fast = np.median(streams[1].observed_throughputs_bps())
+        slow = np.median(streams[2].observed_throughputs_bps())
+        assert fast > slow
+
+    def test_stall_totals_from_client_buffer(self, telemetry):
+        streams = reconstruct_streams(telemetry)
+        # The slow stream (0.8 Mbit/s base) may stall; stalls must be
+        # non-negative and finite either way.
+        for stream in streams.values():
+            assert stream.total_stall_s >= 0.0
+
+    def test_reconstruction_after_round_trip(self, telemetry, tmp_path):
+        write_archive_day(telemetry, tmp_path)
+        loaded = load_archive_day(tmp_path)
+        original = reconstruct_streams(telemetry)
+        restored = reconstruct_streams(loaded)
+        assert set(original) == set(restored)
+        for stream_id in original:
+            a = original[stream_id].chunk_transmission_times
+            b = restored[stream_id].chunk_transmission_times
+            assert set(a) == set(b)
+            for chunk in a:
+                assert a[chunk] == pytest.approx(b[chunk])

@@ -1,0 +1,62 @@
+"""Tests for repro.experiment.operations — the daily retraining loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.ttp import TtpConfig
+from repro.experiment.operations import simulate_operation
+
+
+class TestSimulateOperation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return simulate_operation(
+            n_days=3,
+            streams_per_day=24,
+            epochs_per_day=3,
+            snapshot_days=[0],
+            watch_time_s=120.0,
+            seed=1,
+        )
+
+    def test_history_length(self, run):
+        _, report = run
+        assert len(report.days) == 3
+        assert [d.day for d in report.days] == [0, 1, 2]
+
+    def test_metrics_populated(self, run):
+        _, report = run
+        for day in report.days:
+            assert day.streams_served > 0
+            assert not np.isnan(day.fugu_ssim_db)
+            assert day.training_loss is not None
+
+    def test_quality_improves_from_untrained_start(self, run):
+        # Day 0 serves an untrained TTP; by the final day the model has
+        # seen real telemetry and the training loss has dropped.
+        _, report = run
+        assert report.days[-1].training_loss < report.days[0].training_loss
+
+    def test_snapshot_taken(self, run):
+        _, report = run
+        assert 0 in report.snapshots
+        # The snapshot is a distinct object from the live predictor.
+        predictor, _ = run
+        assert report.snapshots[0] is not predictor
+
+    def test_final_predictor_usable(self, run):
+        predictor, _ = run
+        sizes = np.array([5e5])
+        from repro.net.tcp import TcpInfo
+
+        info = TcpInfo(20, 5, 0.04, 0.05, 5e6)
+        dist = predictor.distribution([], info, sizes)
+        dist.validate()
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            simulate_operation(n_days=0)
+
+    def test_final_day_accessor(self, run):
+        _, report = run
+        assert report.final_day.day == 2

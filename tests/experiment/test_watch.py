@@ -1,0 +1,119 @@
+"""Tests for repro.experiment.watch — viewer behaviour (Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.experiment.watch import PAPER_SCALE_VIEWER, ViewerModel
+from repro.streaming.session import StreamResult
+
+
+class TestStreamKinds:
+    def test_kind_proportions(self):
+        model = ViewerModel(zap_fraction=0.5, abort_fraction=0.2)
+        rng = np.random.default_rng(0)
+        kinds = [model.sample_stream_kind(rng) for _ in range(4000)]
+        assert np.mean([k == "abort" for k in kinds]) == pytest.approx(0.2, abs=0.03)
+        assert np.mean([k == "zap" for k in kinds]) == pytest.approx(0.5, abs=0.03)
+
+    def test_watch_time_ranges(self):
+        model = ViewerModel()
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert model.sample_watch_time("abort", rng) < 0.3
+            assert 0.3 <= model.sample_watch_time("zap", rng) <= model.zap_max_s
+            assert model.sample_watch_time("view", rng) > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ViewerModel().sample_watch_time("binge", np.random.default_rng(0))
+
+    def test_view_times_heavy_tailed(self):
+        model = ViewerModel()
+        rng = np.random.default_rng(2)
+        times = [model.sample_watch_time("view", rng) for _ in range(5000)]
+        # Mean far above median is the log-normal signature.
+        assert np.mean(times) > 1.4 * np.median(times)
+
+
+class TestQoeTail:
+    def make_result(self, stall_ratio=0.0, ssim=16.0):
+        result = StreamResult(0, "x", play_time=1000.0 * (1 - stall_ratio),
+                              stall_time=1000.0 * stall_ratio)
+        # Give it one record so mean_ssim_db is defined.
+        from repro.abr.base import ChunkRecord
+        from repro.net.tcp import TcpInfo
+
+        info = TcpInfo(10, 0, 0.05, 0.05, 5e6)
+        result.records.append(
+            ChunkRecord(0, 5, 5e5, ssim, 1.0, info, 0.0)
+        )
+        return result
+
+    def test_stalls_reduce_continuation(self):
+        model = ViewerModel()
+        clean = model.continue_probability(self.make_result(0.0))
+        stally = model.continue_probability(self.make_result(0.05))
+        assert stally < clean
+
+    def test_quality_increases_continuation(self):
+        model = ViewerModel()
+        low = model.continue_probability(self.make_result(ssim=12.0))
+        high = model.continue_probability(self.make_result(ssim=18.0))
+        assert high > low
+
+    def test_probability_bounded(self):
+        model = ViewerModel()
+        assert 0.0 <= model.continue_probability(self.make_result(0.5)) <= 0.97
+        assert model.continue_probability(self.make_result(ssim=60.0)) <= 0.97
+
+    def test_hook_inactive_before_threshold(self):
+        model = ViewerModel(tail_threshold_s=1000.0)
+        hook = model.make_extension_hook(np.random.default_rng(0))
+        assert hook(500.0, self.make_result()) == 0.0
+
+    def test_hook_extends_after_threshold(self):
+        model = ViewerModel(tail_threshold_s=100.0, tail_continue_base=0.95)
+        hook = model.make_extension_hook(np.random.default_rng(0))
+        extensions = [hook(200.0, self.make_result()) for _ in range(50)]
+        assert any(e > 0 for e in extensions)
+
+    def test_hook_respects_session_cap(self):
+        model = ViewerModel(tail_threshold_s=100.0, max_session_s=300.0)
+        hook = model.make_extension_hook(np.random.default_rng(0))
+        assert hook(300.0, self.make_result()) == 0.0
+
+    def test_better_qoe_means_longer_tails(self):
+        # The §5.1 mechanism: run the hook repeatedly and compare expected
+        # total extensions for a clean vs a stall-ridden stream.
+        model = ViewerModel(tail_threshold_s=0.5)
+        rng = np.random.default_rng(3)
+
+        def expected_blocks(result):
+            total = 0
+            for _ in range(400):
+                hook = model.make_extension_hook(rng)
+                t = 1.0
+                while True:
+                    extra = hook(t, result)
+                    if extra <= 0:
+                        break
+                    t += extra
+                    total += 1
+            return total
+
+        clean = expected_blocks(self.make_result(0.0, ssim=17.0))
+        bad = expected_blocks(self.make_result(0.08, ssim=13.0))
+        assert clean > bad
+
+
+class TestScales:
+    def test_paper_scale_thresholds(self):
+        assert PAPER_SCALE_VIEWER.tail_threshold_s == 2.5 * 3600.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ViewerModel(zap_fraction=1.5)
+        with pytest.raises(ValueError):
+            ViewerModel(tail_continue_base=1.0)
+        with pytest.raises(ValueError):
+            ViewerModel(tail_block_s=0.0)

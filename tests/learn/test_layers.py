@@ -1,0 +1,193 @@
+"""Tests for repro.learn.layers — shapes, gradients, parameter plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn.layers import Linear, ReLU, Sequential
+
+
+def finite_difference_grad(f, x, eps=1e-6):
+    """Numerical gradient of scalar f at x (same shape as x)."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_1d_input_promoted(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones(4))
+        assert out.shape == (1, 3)
+
+    def test_forward_is_affine(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight + layer.bias
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_wrong_width_rejected(self):
+        layer = Linear(4, 3)
+        with pytest.raises(ValueError, match="expected input width"):
+            layer.forward(np.ones((2, 5)))
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_parameters_exposes_live_arrays(self):
+        layer = Linear(2, 3)
+        params = dict((n, v) for n, v, _ in layer.parameters())
+        assert params["weight"] is layer.weight
+        assert params["bias"] is layer.bias
+
+    def test_zero_grad_resets(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        layer.forward(np.ones((3, 2)))
+        layer.backward(np.ones((3, 2)))
+        assert np.any(layer.grad_weight != 0)
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+        assert np.all(layer.grad_bias == 0)
+
+    def test_weight_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        numeric = finite_difference_grad(loss, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, numeric, atol=1e-5)
+
+    def test_bias_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        numeric = finite_difference_grad(loss, layer.bias)
+        np.testing.assert_allclose(layer.grad_bias, numeric, atol=1e-5)
+
+    def test_input_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss():
+            return float(layer.forward(x).sum())
+
+        layer.forward(x)
+        grad_in = layer.backward(np.ones((2, 2)))
+        numeric = finite_difference_grad(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+    def test_he_initialization_scale(self):
+        layer = Linear(1000, 10, rng=np.random.default_rng(0))
+        observed = layer.weight.std()
+        expected = np.sqrt(2.0 / 1000)
+        assert abs(observed - expected) / expected < 0.1
+
+    def test_gradients_accumulate_across_backward_calls(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.grad_weight, 2 * first)
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        relu.forward(np.array([-1.0, 3.0]))
+        grad = relu.backward(np.array([5.0, 7.0]))
+        np.testing.assert_array_equal(grad, [0.0, 7.0])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones(3))
+
+    def test_no_parameters(self):
+        assert list(ReLU().parameters()) == []
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_output_nonnegative(self, values):
+        out = ReLU().forward(np.array(values))
+        assert np.all(out >= 0)
+
+    @given(st.lists(st.floats(0.001, 100), min_size=1, max_size=30))
+    def test_identity_on_positive(self, values):
+        x = np.array(values)
+        np.testing.assert_array_equal(ReLU().forward(x), x)
+
+
+class TestSequential:
+    def test_composition(self):
+        rng = np.random.default_rng(0)
+        l1, l2 = Linear(3, 4, rng=rng), Linear(4, 2, rng=rng)
+        seq = Sequential([l1, ReLU(), l2])
+        x = rng.normal(size=(5, 3))
+        manual = l2.forward(np.maximum(l1.forward(x), 0.0))
+        np.testing.assert_allclose(seq.forward(x), manual)
+
+    def test_parameter_names_are_prefixed(self):
+        seq = Sequential([Linear(2, 2), ReLU(), Linear(2, 1)])
+        names = [n for n, _, __ in seq.parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_end_to_end_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(4)
+        seq = Sequential([Linear(3, 5, rng=rng), ReLU(), Linear(5, 1, rng=rng)])
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(seq.forward(x).sum())
+
+        seq.zero_grad()
+        seq.forward(x)
+        seq.backward(np.ones((4, 1)))
+        for name, value, grad in seq.parameters():
+            numeric = finite_difference_grad(loss, value)
+            np.testing.assert_allclose(
+                grad, numeric, atol=1e-5, err_msg=f"gradient mismatch at {name}"
+            )

@@ -1,0 +1,182 @@
+"""Tests for repro.learn.losses — values, gradients, sample weighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.learn.losses import (
+    HuberLoss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    log_softmax,
+    softmax,
+)
+
+
+class TestSoftmaxHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(5, 7)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.all(np.isfinite(p))
+        np.testing.assert_allclose(p[0, :2], 0.5, atol=1e-9)
+
+    def test_log_softmax_consistent_with_softmax(self):
+        logits = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-50, 50), min_size=3, max_size=3),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_softmax_nonnegative_normalized(self, rows):
+        p = softmax(np.array(rows))
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0, 0.0]])
+        value, _ = loss_fn(logits, np.array([0]))
+        assert value < 1e-6
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 8))
+        value, _ = loss_fn(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(value, np.log(8), rtol=1e-9)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(0).normal(size=(3, 4))
+        _, grad = loss_fn(logits, np.array([1, 0, 3]))
+        p = softmax(logits)
+        expected = p.copy()
+        expected[np.arange(3), [1, 0, 3]] -= 1.0
+        np.testing.assert_allclose(grad, expected / 3.0)
+
+    def test_gradient_matches_finite_difference(self):
+        loss_fn = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(2, 5))
+        target = np.array([2, 4])
+        _, grad = loss_fn(logits, target)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(5):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                numeric = (loss_fn(up, target)[0] - loss_fn(down, target)[0]) / (
+                    2 * eps
+                )
+                assert abs(grad[i, j] - numeric) < 1e-6
+
+    def test_out_of_range_target_rejected(self):
+        loss_fn = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError, match="targets must lie"):
+            loss_fn(np.zeros((1, 3)), np.array([3]))
+        with pytest.raises(ValueError, match="targets must lie"):
+            loss_fn(np.zeros((1, 3)), np.array([-1]))
+
+    def test_target_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3)), np.array([0]))
+
+    def test_sample_weights_tilt_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        targets = np.array([1, 1])  # first sample is wrong, second right
+        unweighted, _ = loss_fn(logits, targets)
+        emphasize_wrong, _ = loss_fn(logits, targets, np.array([10.0, 1.0]))
+        emphasize_right, _ = loss_fn(logits, targets, np.array([1.0, 10.0]))
+        assert emphasize_wrong > unweighted > emphasize_right
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(
+                np.zeros((2, 3)), np.array([0, 1]), np.zeros(2)
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(
+                np.zeros((2, 3)), np.array([0, 1]), np.array([1.0, -1.0])
+            )
+
+
+class TestMeanSquaredError:
+    def test_zero_at_exact_fit(self):
+        value, grad = MeanSquaredError()(np.ones((3, 2)), np.ones((3, 2)))
+        assert value == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_value(self):
+        value, _ = MeanSquaredError()(
+            np.array([[2.0]]), np.array([[0.0]])
+        )
+        assert value == pytest.approx(4.0)
+
+    def test_gradient_matches_finite_difference(self):
+        loss_fn = MeanSquaredError()
+        rng = np.random.default_rng(3)
+        out = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, grad = loss_fn(out, target)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                up = out.copy()
+                up[i, j] += eps
+                down = out.copy()
+                down[i, j] -= eps
+                numeric = (
+                    loss_fn(up, target)[0] - loss_fn(down, target)[0]
+                ) / (2 * eps)
+                assert abs(grad[i, j] - numeric) < 1e-6
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_delta(self):
+        value, _ = HuberLoss(delta=1.0)(np.array([[0.5]]), np.array([[0.0]]))
+        assert value == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        value, _ = HuberLoss(delta=1.0)(np.array([[3.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_gradient_bounded_by_delta(self):
+        _, grad = HuberLoss(delta=1.0)(
+            np.array([[100.0], [-100.0]]), np.zeros((2, 1))
+        )
+        assert np.all(np.abs(grad) <= 1.0)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+    def test_gradient_matches_finite_difference(self):
+        loss_fn = HuberLoss(delta=0.7)
+        rng = np.random.default_rng(4)
+        out = rng.normal(size=(4, 1)) * 2
+        target = rng.normal(size=(4, 1))
+        _, grad = loss_fn(out, target)
+        eps = 1e-6
+        for i in range(4):
+            up = out.copy()
+            up[i, 0] += eps
+            down = out.copy()
+            down[i, 0] -= eps
+            numeric = (loss_fn(up, target)[0] - loss_fn(down, target)[0]) / (
+                2 * eps
+            )
+            assert abs(grad[i, 0] - numeric) < 1e-5

@@ -1,0 +1,73 @@
+"""Tests for repro.media.ladder — profiles and the Puffer ladder."""
+
+import pytest
+
+from repro.media.ladder import PUFFER_LADDER, EncodingLadder, EncodingProfile
+
+
+def make_profile(name="x", bitrate=1e6, ssim=10.0):
+    return EncodingProfile(name, 640, 360, 23, bitrate, ssim)
+
+
+class TestPufferLadder:
+    def test_has_ten_rungs(self):
+        assert len(PUFFER_LADDER) == 10
+
+    def test_bitrate_range_matches_paper(self):
+        # "from 240p60 ... (about 200 kbps) to 1080p60 ... (about 5,500
+        # kbps)" (§3.1).
+        assert PUFFER_LADDER.lowest.target_bitrate == pytest.approx(200e3)
+        assert PUFFER_LADDER.highest.target_bitrate == pytest.approx(5500e3)
+
+    def test_lowest_is_240p_crf26(self):
+        assert PUFFER_LADDER.lowest.height == 240
+        assert PUFFER_LADDER.lowest.crf == 26
+
+    def test_highest_is_1080p_crf20(self):
+        assert PUFFER_LADDER.highest.height == 1080
+        assert PUFFER_LADDER.highest.crf == 20
+
+    def test_bitrates_strictly_increasing(self):
+        rates = PUFFER_LADDER.bitrates
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_base_quality_increasing(self):
+        ssims = [p.base_ssim_db for p in PUFFER_LADDER]
+        assert all(a < b for a, b in zip(ssims, ssims[1:]))
+
+    def test_quality_has_diminishing_returns(self):
+        # dB gain per rung shrinks toward the top of the ladder, which is
+        # what separates "maximize bitrate" from "maximize SSIM" (Fig. 4).
+        ssims = [p.base_ssim_db for p in PUFFER_LADDER]
+        gains = [b - a for a, b in zip(ssims, ssims[1:])]
+        assert gains[0] > gains[-1]
+
+    def test_index_of(self):
+        assert PUFFER_LADDER.index_of("240p60-crf26") == 0
+        assert PUFFER_LADDER.index_of("1080p60-crf20") == 9
+        with pytest.raises(KeyError):
+            PUFFER_LADDER.index_of("nope")
+
+
+class TestEncodingLadder:
+    def test_orders_by_bitrate(self):
+        high = make_profile("high", 5e6)
+        low = make_profile("low", 1e6)
+        ladder = EncodingLadder([high, low])
+        assert ladder[0] is low
+        assert ladder[1] is high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingLadder([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            EncodingLadder([make_profile("a"), make_profile("a", 2e6)])
+
+    def test_iteration(self):
+        ladder = EncodingLadder([make_profile("a"), make_profile("b", 2e6)])
+        assert [p.name for p in ladder] == ["a", "b"]
+
+    def test_pixels_per_frame(self):
+        assert make_profile().pixels_per_frame == 640 * 360

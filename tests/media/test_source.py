@@ -1,0 +1,82 @@
+"""Tests for repro.media.source — channels and the complexity process."""
+
+import numpy as np
+import pytest
+
+from repro.media.source import (
+    DEFAULT_CHANNELS,
+    Channel,
+    SceneComplexityProcess,
+    VideoSource,
+)
+
+
+class TestChannel:
+    def test_six_default_channels(self):
+        # Puffer carries six over-the-air channels (§3.1).
+        assert len(DEFAULT_CHANNELS) == 6
+        assert len({c.name for c in DEFAULT_CHANNELS}) == 6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("x", complexity_sigma=-0.1)
+        with pytest.raises(ValueError):
+            Channel("x", scene_cut_rate=1.5)
+        with pytest.raises(ValueError):
+            Channel("x", mean_reversion=0.0)
+
+
+class TestSceneComplexityProcess:
+    def test_complexity_positive(self):
+        proc = SceneComplexityProcess(DEFAULT_CHANNELS[0], np.random.default_rng(0))
+        for _ in range(500):
+            assert proc.step() > 0
+
+    def test_long_run_mean_near_one(self):
+        # log-complexity is zero-mean, so complexity has geometric mean 1.
+        proc = SceneComplexityProcess(DEFAULT_CHANNELS[0], np.random.default_rng(1))
+        logs = [np.log(proc.step()) for _ in range(5000)]
+        assert abs(np.mean(logs)) < 0.1
+
+    def test_stationary_spread_matches_sigma(self):
+        channel = Channel("x", complexity_sigma=0.4, scene_cut_rate=0.05)
+        proc = SceneComplexityProcess(channel, np.random.default_rng(2))
+        logs = [np.log(proc.step()) for _ in range(8000)]
+        assert np.std(logs) == pytest.approx(0.4, rel=0.15)
+
+    def test_autocorrelation_present(self):
+        # Consecutive chunks are similar (scenes persist).
+        channel = Channel("x", complexity_sigma=0.4, scene_cut_rate=0.0,
+                          mean_reversion=0.05)
+        proc = SceneComplexityProcess(channel, np.random.default_rng(3))
+        logs = np.array([np.log(proc.step()) for _ in range(4000)])
+        corr = np.corrcoef(logs[:-1], logs[1:])[0, 1]
+        assert corr > 0.7
+
+
+class TestVideoSource:
+    def test_take(self):
+        source = VideoSource(DEFAULT_CHANNELS[0], seed=0)
+        values = source.take(10)
+        assert len(values) == 10
+        assert all(v > 0 for v in values)
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VideoSource(DEFAULT_CHANNELS[0]).take(-1)
+
+    def test_iteration_is_endless(self):
+        source = VideoSource(DEFAULT_CHANNELS[0], seed=0)
+        it = iter(source)
+        for _ in range(100):
+            assert next(it) > 0
+
+    def test_deterministic_given_seed(self):
+        a = VideoSource(DEFAULT_CHANNELS[1], seed=7).take(20)
+        b = VideoSource(DEFAULT_CHANNELS[1], seed=7).take(20)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = VideoSource(DEFAULT_CHANNELS[1], seed=7).take(20)
+        b = VideoSource(DEFAULT_CHANNELS[1], seed=8).take(20)
+        assert a != b

@@ -1,0 +1,51 @@
+"""Tests for repro.media.ssim — dB conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.media.ssim import MAX_SSIM_DB, ssim_db_to_index, ssim_index_to_db
+
+
+class TestConversions:
+    def test_known_values(self):
+        # SSIM 0.9 -> 10 dB; 0.99 -> 20 dB.
+        assert ssim_index_to_db(0.9) == pytest.approx(10.0)
+        assert ssim_index_to_db(0.99) == pytest.approx(20.0)
+
+    def test_paper_headline_value(self):
+        # Fugu's 16.9 dB mean SSIM corresponds to an index near 0.98.
+        index = ssim_db_to_index(16.9)
+        assert 0.97 < index < 0.99
+
+    def test_zero_index_is_zero_db(self):
+        assert ssim_index_to_db(0.0) == 0.0
+
+    def test_perfect_index_clamped(self):
+        assert ssim_index_to_db(1.0) == MAX_SSIM_DB
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ssim_index_to_db(-0.1)
+        with pytest.raises(ValueError):
+            ssim_index_to_db(1.1)
+        with pytest.raises(ValueError):
+            ssim_db_to_index(-1.0)
+
+    @given(st.floats(0.0, 0.999999))
+    def test_round_trip(self, index):
+        assert ssim_db_to_index(ssim_index_to_db(index)) == pytest.approx(
+            index, abs=1e-9
+        )
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    def test_monotonic(self, a, b):
+        da, db = ssim_index_to_db(a), ssim_index_to_db(b)
+        if a < b:
+            assert da <= db
+        elif a > b:
+            assert da >= db
+        else:
+            assert math.isclose(da, db)

@@ -1,0 +1,164 @@
+"""Tests for repro.net.tcp — the fluid connection model.
+
+These cover the properties the TTP exploits: slow-start ramp (small chunks
+see lower effective throughput), idle restart, and the ``tcp_info``
+snapshot semantics of the ``video_sent`` record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.cc.cubic import CubicLike
+from repro.net.link import ConstantLink, TraceLink
+from repro.net.tcp import TcpConnection
+
+
+def fresh_connection(rate=8e6, rtt=0.05, **kwargs):
+    return TcpConnection(ConstantLink(rate), base_rtt=rtt, **kwargs)
+
+
+class TestTransmit:
+    def test_transmission_time_positive(self):
+        conn = fresh_connection()
+        res = conn.transmit(500_000, 0.0)
+        assert res.transmission_time > 0
+
+    def test_small_chunk_costs_at_least_one_rtt(self):
+        conn = fresh_connection(rtt=0.08)
+        res = conn.transmit(1000, 0.0)
+        assert res.transmission_time >= 0.08
+
+    def test_large_transfer_approaches_link_rate(self):
+        conn = fresh_connection(rate=8e6, rtt=0.05)
+        size = 20_000_000  # 20 MB: ramp cost amortized away
+        res = conn.transmit(size, 0.0)
+        throughput = size * 8 / res.transmission_time
+        assert throughput == pytest.approx(8e6, rel=0.15)
+
+    def test_effective_throughput_grows_with_size(self):
+        # The non-linearity the TTP models (§4.2): small transfers on a
+        # cold window see much lower effective throughput.
+        small = fresh_connection().transmit(30_000, 0.0)
+        large = fresh_connection().transmit(3_000_000, 0.0)
+        tput_small = 30_000 * 8 / small.transmission_time
+        tput_large = 3_000_000 * 8 / large.transmission_time
+        assert tput_large > 2 * tput_small
+
+    def test_back_to_back_chunks_keep_window_warm(self):
+        conn = fresh_connection()
+        t = 0.0
+        times = []
+        for _ in range(6):
+            res = conn.transmit(400_000, t)
+            times.append(res.transmission_time)
+            t += res.transmission_time
+        assert times[-1] < times[0]  # later chunks ride the opened window
+
+    def test_idle_restart_slows_next_chunk(self):
+        conn = fresh_connection()
+        t = 0.0
+        for _ in range(6):  # warm up
+            t += conn.transmit(400_000, t).transmission_time
+        warm = conn.transmit(400_000, t).transmission_time
+        t += warm + 60.0  # long idle: slow-start-after-idle decays cwnd
+        cold = conn.transmit(400_000, t).transmission_time
+        assert cold > warm * 1.05
+
+    def test_overlapping_transmissions_rejected(self):
+        conn = fresh_connection()
+        res = conn.transmit(1_000_000, 10.0)
+        with pytest.raises(ValueError, match="before previous"):
+            conn.transmit(1000, 10.0 + res.transmission_time / 2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_connection().transmit(0, 0.0)
+
+    def test_invalid_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            TcpConnection(ConstantLink(1e6), base_rtt=0.0)
+
+    def test_busy_until_tracks_completion(self):
+        conn = fresh_connection()
+        res = conn.transmit(500_000, 5.0)
+        assert conn.busy_until == pytest.approx(5.0 + res.transmission_time)
+
+    def test_total_bytes_sent_accumulates(self):
+        conn = fresh_connection()
+        t = 0.0
+        for _ in range(3):
+            t += conn.transmit(100_000, t).transmission_time
+        assert conn.total_bytes_sent == 300_000
+
+    def test_trace_link_variation_affects_time(self):
+        slow_then_fast = TraceLink([5e5] * 10 + [2e7] * 100, epoch=1.0)
+        conn = TcpConnection(slow_then_fast, base_rtt=0.05)
+        slow = conn.transmit(500_000, 0.0)
+        fast_start = conn.busy_until + 11.0
+        fast = conn.transmit(500_000, max(fast_start, 11.0))
+        assert fast.transmission_time < slow.transmission_time
+
+
+class TestTcpInfo:
+    def test_snapshot_taken_at_send(self):
+        conn = fresh_connection()
+        res = conn.transmit(2_000_000, 0.0)
+        # Fresh connection: snapshot shows the initial window and no
+        # delivery-rate estimate.
+        assert res.info_at_send.cwnd == pytest.approx(10.0)
+        assert res.info_at_send.delivery_rate == 0.0
+
+    def test_delivery_rate_populated_after_transfer(self):
+        conn = fresh_connection(rate=8e6)
+        conn.transmit(2_000_000, 0.0)
+        info = conn.tcp_info()
+        assert info.delivery_rate > 1e6
+
+    def test_min_rtt_not_above_smoothed(self):
+        conn = fresh_connection()
+        t = 0.0
+        for _ in range(5):
+            t += conn.transmit(1_000_000, t).transmission_time
+        info = conn.tcp_info()
+        assert info.min_rtt <= info.rtt + 1e-9
+
+    def test_rtt_reflects_path(self):
+        fast = fresh_connection(rtt=0.02).tcp_info()
+        slow = fresh_connection(rtt=0.3).tcp_info()
+        assert slow.rtt > fast.rtt
+        assert slow.min_rtt > fast.min_rtt
+
+    def test_in_flight_drains_when_idle(self):
+        conn = fresh_connection()
+        t = conn.transmit(2_000_000, 0.0).transmission_time
+        busy_info = conn.tcp_info()
+        conn.transmit(1000, t + 30.0)
+        idle_info = conn.tcp_info()
+        assert idle_info.in_flight <= busy_info.in_flight
+
+
+class TestCubicConnection:
+    def test_cubic_transfers_complete(self):
+        conn = TcpConnection(
+            ConstantLink(4e6),
+            base_rtt=0.05,
+            cc=CubicLike(),
+            loss_rng=np.random.default_rng(0),
+        )
+        t = 0.0
+        for _ in range(10):
+            res = conn.transmit(1_000_000, t)
+            t += res.transmission_time
+            assert res.transmission_time < 60.0
+
+    def test_cubic_throughput_reasonable(self):
+        conn = TcpConnection(
+            ConstantLink(8e6),
+            base_rtt=0.05,
+            cc=CubicLike(),
+            loss_rng=np.random.default_rng(1),
+        )
+        size = 10_000_000
+        res = conn.transmit(size, 0.0)
+        throughput = size * 8 / res.transmission_time
+        assert 2e6 < throughput <= 8.1e6

@@ -1,0 +1,106 @@
+"""Tests for repro.streaming.replacement — the chunk-upgrade extension."""
+
+import numpy as np
+import pytest
+
+from repro.abr.bba import BBA
+from repro.media.encoder import encode_clip
+from repro.media.source import DEFAULT_CHANNELS
+from repro.net.link import ConstantLink
+from repro.net.tcp import TcpConnection
+from repro.streaming.replacement import (
+    ReplacementPolicy,
+    simulate_stream_with_replacement,
+)
+from repro.streaming.simulator import simulate_stream
+
+
+def menus(n=400, seed=0):
+    return encode_clip(DEFAULT_CHANNELS[0], n, seed=seed)
+
+
+def connection(rate=2e7):
+    return TcpConnection(ConstantLink(rate), base_rtt=0.04)
+
+
+class TestReplacementPolicy:
+    def test_no_throughput_no_replacement(self):
+        policy = ReplacementPolicy()
+        assert policy.select([], [], None) is None
+
+    def test_selects_biggest_gain_within_deadline(self):
+        policy = ReplacementPolicy(safety_factor=1.0, min_gain_db=0.1)
+        ms = menus(2, seed=1)
+        buffered = [(ms[0], 0), (ms[1], 8)]
+        # 20 Mbps: the top rung (~1.4 MB) fetches in ~0.55 s.
+        choice = policy.select(buffered, [4.0, 6.0], 2e7)
+        assert choice is not None
+        position, rung = choice
+        assert position == 0  # the rung-0 chunk has far more headroom
+        assert rung > 0
+
+    def test_respects_deadline(self):
+        policy = ReplacementPolicy(safety_factor=1.0, min_gain_db=0.1)
+        ms = menus(1, seed=1)
+        # 0.01 s until play: nothing fetches that fast.
+        assert policy.select([(ms[0], 0)], [0.01], 2e6) is None
+
+    def test_min_gain_filter(self):
+        policy = ReplacementPolicy(min_gain_db=100.0)
+        ms = menus(1, seed=1)
+        assert policy.select([(ms[0], 0)], [10.0], 1e8) is None
+
+
+class TestSimulation:
+    def test_replacements_happen_on_fast_link(self):
+        # BBA starts at the lowest rung; idle time upgrades those chunks.
+        result = simulate_stream_with_replacement(
+            iter(menus()), BBA(), connection(2e7), watch_time_s=90.0
+        )
+        assert result.replacements > 0
+        assert result.wasted_bytes > 0
+
+    def test_replacement_improves_played_quality(self):
+        plain = simulate_stream(
+            iter(menus(seed=3)), BBA(), connection(2e7), watch_time_s=90.0
+        )
+        upgraded = simulate_stream_with_replacement(
+            iter(menus(seed=3)), BBA(), connection(2e7), watch_time_s=90.0
+        )
+        assert upgraded.mean_ssim_db > plain.mean_ssim_db
+
+    def test_no_stalls_introduced_on_stable_link(self):
+        result = simulate_stream_with_replacement(
+            iter(menus(seed=4)), BBA(), connection(2e7), watch_time_s=90.0
+        )
+        assert result.stall_time == 0.0
+
+    def test_time_accounting(self):
+        result = simulate_stream_with_replacement(
+            iter(menus(seed=5)), BBA(), connection(5e6), watch_time_s=60.0
+        )
+        assert result.total_time <= 60.0 + 1e-6
+        assert result.play_time + result.stall_time <= result.total_time + 2.1
+
+    def test_played_records_are_in_order(self):
+        result = simulate_stream_with_replacement(
+            iter(menus(seed=6)), BBA(), connection(2e7), watch_time_s=45.0
+        )
+        indices = [r.chunk_index for r in result.records]
+        assert indices == sorted(indices)
+
+    def test_no_replacement_on_slow_link(self):
+        # A link with no headroom never has idle time worth spending.
+        result = simulate_stream_with_replacement(
+            iter(menus(seed=7)),
+            BBA(),
+            connection(8e5),
+            watch_time_s=60.0,
+        )
+        assert result.replacements == 0
+
+    def test_invalid_watch_time(self):
+        with pytest.raises(ValueError):
+            simulate_stream_with_replacement(
+                iter(menus()), BBA(), connection(), watch_time_s=-1.0
+            )

@@ -1,0 +1,81 @@
+"""Tests for repro.streaming.session — per-stream metrics (§3.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ChunkRecord
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+
+def info(delivery_rate=5e6):
+    return TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery_rate)
+
+
+def record(i, ssim=15.0, size=500_000, tx=1.0, rate=5e6, rung=5):
+    return ChunkRecord(
+        chunk_index=i, rung=rung, size_bytes=size, ssim_db=ssim,
+        transmission_time=tx, info_at_send=info(rate), send_time=i * 2.0,
+    )
+
+
+class TestMetrics:
+    def test_stall_ratio(self):
+        r = StreamResult(0, "x", play_time=90.0, stall_time=10.0)
+        assert r.watch_time == 100.0
+        assert r.stall_ratio == pytest.approx(0.1)
+
+    def test_zero_watch_time_stall_ratio(self):
+        assert StreamResult(0, "x").stall_ratio == 0.0
+
+    def test_mean_ssim(self):
+        r = StreamResult(0, "x", records=[record(0, 10.0), record(1, 20.0)])
+        assert r.mean_ssim_db == pytest.approx(15.0)
+
+    def test_mean_ssim_nan_when_empty(self):
+        assert math.isnan(StreamResult(0, "x").mean_ssim_db)
+
+    def test_ssim_variation(self):
+        r = StreamResult(
+            0, "x",
+            records=[record(0, 10.0), record(1, 14.0), record(2, 12.0)],
+        )
+        assert r.ssim_variation_db == pytest.approx((4.0 + 2.0) / 2)
+
+    def test_ssim_variation_zero_for_single_chunk(self):
+        assert StreamResult(0, "x", records=[record(0)]).ssim_variation_db == 0.0
+
+    def test_first_chunk_ssim(self):
+        r = StreamResult(0, "x", records=[record(0, 8.5), record(1, 17.0)])
+        assert r.first_chunk_ssim_db == 8.5
+
+    def test_mean_bitrate(self):
+        r = StreamResult(0, "x", records=[record(0, size=250_250)])
+        assert r.mean_bitrate_bps == pytest.approx(1e6)
+
+    def test_mean_delivery_rate_ignores_zero_samples(self):
+        records = [record(0, rate=0.0), record(1, rate=4e6), record(2, rate=8e6)]
+        r = StreamResult(0, "x", records=records)
+        assert r.mean_delivery_rate_bps == pytest.approx(6e6)
+
+    def test_mean_delivery_rate_fallback_to_observed(self):
+        records = [record(0, rate=0.0, size=500_000, tx=1.0)]
+        r = StreamResult(0, "x", records=records)
+        assert r.mean_delivery_rate_bps == pytest.approx(4e6)
+
+    def test_slow_path_classification(self):
+        slow = StreamResult(0, "x", records=[record(0, rate=3e6)])
+        fast = StreamResult(0, "x", records=[record(0, rate=9e6)])
+        assert slow.is_slow_path()
+        assert not fast.is_slow_path()
+
+    def test_had_stall(self):
+        assert StreamResult(0, "x", stall_time=0.5).had_stall
+        assert not StreamResult(0, "x").had_stall
+
+    def test_observed_throughput(self):
+        rec = record(0, size=1_000_000, tx=2.0)
+        assert rec.observed_throughput_bps == pytest.approx(4e6)

@@ -1,0 +1,254 @@
+"""Tests for repro.streaming.simulator — the chunk-level event loop."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import AbrAlgorithm
+from repro.media.encoder import VbrEncoder, encode_clip
+from repro.media.source import DEFAULT_CHANNELS, VideoSource
+from repro.net.link import ConstantLink, TraceLink
+from repro.net.tcp import TcpConnection
+from repro.streaming.simulator import simulate_stream
+from repro.streaming.telemetry import BufferEvent, TelemetryLog
+
+
+class FixedRung(AbrAlgorithm):
+    """Always chooses one rung; records contexts for inspection."""
+
+    name = "fixed"
+
+    def __init__(self, rung=0):
+        self.rung = rung
+        self.contexts = []
+
+    def choose(self, context):
+        self.contexts.append(
+            (context.buffer_s, context.startup, len(context.lookahead))
+        )
+        return self.rung
+
+
+def fast_connection(rate=20e6):
+    return TcpConnection(ConstantLink(rate), base_rtt=0.03)
+
+
+def menus(n=200, seed=0):
+    return encode_clip(DEFAULT_CHANNELS[0], n, seed=seed)
+
+
+class TestBasicLoop:
+    def test_plays_until_watch_time(self):
+        result = simulate_stream(
+            iter(menus()), FixedRung(0), fast_connection(), watch_time_s=60.0
+        )
+        assert result.total_time == pytest.approx(60.0, abs=2.5)
+        assert result.play_time > 50.0
+        assert result.stall_time == 0.0
+
+    def test_bounded_clip_ends_stream(self):
+        result = simulate_stream(
+            iter(menus(10)), FixedRung(0), fast_connection(), watch_time_s=1e9
+        )
+        assert len(result.records) == 10
+
+    def test_startup_delay_is_first_chunk_arrival(self):
+        result = simulate_stream(
+            iter(menus()), FixedRung(0), fast_connection(), watch_time_s=30.0
+        )
+        assert result.startup_delay == pytest.approx(
+            result.records[0].transmission_time
+        )
+
+    def test_first_decision_sees_empty_buffer_and_startup_flag(self):
+        abr = FixedRung(0)
+        simulate_stream(iter(menus()), abr, fast_connection(), watch_time_s=20.0)
+        buffer0, startup0, lookahead0 = abr.contexts[0]
+        assert buffer0 == 0.0
+        assert startup0
+        assert lookahead0 >= 5
+
+    def test_buffer_respects_cap_at_decisions(self):
+        abr = FixedRung(0)
+        simulate_stream(
+            iter(menus()), abr, fast_connection(), watch_time_s=120.0,
+            max_buffer_s=15.0,
+        )
+        assert all(b <= 15.0 + 1e-9 for b, _, __ in abr.contexts)
+
+    def test_server_pauses_when_buffer_full(self):
+        # On a fast link, video downloads much faster than real time, so
+        # without pausing a 60 s watch would fetch hundreds of chunks.
+        result = simulate_stream(
+            iter(menus(1000)), FixedRung(0), fast_connection(1e9),
+            watch_time_s=60.0,
+        )
+        played_plus_buffered = result.play_time + 15.0
+        assert len(result.records) * 2.002 <= played_plus_buffered + 4.1
+
+    def test_stall_on_slow_link(self):
+        slow = TcpConnection(ConstantLink(3e5), base_rtt=0.05)
+        result = simulate_stream(
+            iter(menus()), FixedRung(9), slow, watch_time_s=60.0
+        )
+        assert result.stall_time > 0
+
+    def test_lowest_rung_avoids_stall_on_adequate_link(self):
+        adequate = TcpConnection(ConstantLink(1.5e6), base_rtt=0.05)
+        result = simulate_stream(
+            iter(menus()), FixedRung(0), adequate, watch_time_s=60.0
+        )
+        assert result.stall_time == 0.0
+
+    def test_never_began_when_viewer_leaves_instantly(self):
+        result = simulate_stream(
+            iter(menus()),
+            FixedRung(9),
+            TcpConnection(ConstantLink(2e5), base_rtt=0.05),
+            watch_time_s=0.05,
+        )
+        assert result.never_began
+        assert result.play_time == 0.0
+
+    def test_invalid_watch_time(self):
+        with pytest.raises(ValueError):
+            simulate_stream(
+                iter(menus()), FixedRung(0), fast_connection(), watch_time_s=-1.0
+            )
+
+    def test_out_of_range_rung_rejected(self):
+        with pytest.raises(ValueError, match="chose rung"):
+            simulate_stream(
+                iter(menus()), FixedRung(10), fast_connection(), watch_time_s=10.0
+            )
+
+
+class TestAccounting:
+    def test_watch_time_identity(self):
+        result = simulate_stream(
+            iter(menus()),
+            FixedRung(5),
+            TcpConnection(ConstantLink(2e6), base_rtt=0.05),
+            watch_time_s=90.0,
+        )
+        assert result.watch_time == pytest.approx(
+            result.play_time + result.stall_time
+        )
+        assert result.watch_time <= result.total_time + 1e-6
+
+    def test_stall_plus_play_bounded_by_total(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            source = VideoSource(DEFAULT_CHANNELS[1], rng=rng)
+            encoder = VbrEncoder(rng=rng)
+            from repro.net.link import HeavyTailLink
+
+            conn = TcpConnection(
+                HeavyTailLink(base_bps=2e6, seed=seed), base_rtt=0.06
+            )
+            result = simulate_stream(
+                encoder.stream(source), FixedRung(4), conn, watch_time_s=120.0
+            )
+            assert result.play_time + result.stall_time <= result.total_time + 1e-6
+            assert result.total_time <= 120.0 + 1e-6
+
+    def test_records_match_chunks_sent(self):
+        result = simulate_stream(
+            iter(menus(50)), FixedRung(3), fast_connection(), watch_time_s=30.0
+        )
+        indices = [r.chunk_index for r in result.records]
+        assert indices == sorted(indices)
+        assert all(r.rung == 3 for r in result.records)
+
+
+class TestTelemetry:
+    def test_tables_populated(self):
+        log = TelemetryLog()
+        simulate_stream(
+            iter(menus()), FixedRung(2), fast_connection(), watch_time_s=30.0,
+            stream_id=7, expt_id=3, telemetry=log,
+        )
+        assert len(log.video_sent) > 0
+        assert len(log.video_sent) == len(log.video_acked)
+        assert all(r.stream_id == 7 for r in log.video_sent)
+        assert all(r.expt_id == 3 for r in log.video_acked)
+
+    def test_sent_precedes_ack(self):
+        log = TelemetryLog()
+        simulate_stream(
+            iter(menus()), FixedRung(2), fast_connection(), watch_time_s=30.0,
+            telemetry=log,
+        )
+        for sent, acked in zip(log.video_sent, log.video_acked):
+            assert sent.chunk_index == acked.chunk_index
+            assert sent.time < acked.time
+
+    def test_transmission_time_recoverable_from_telemetry(self):
+        # Appendix B: joining video_sent and video_acked yields the chunk's
+        # transmission time.
+        log = TelemetryLog()
+        result = simulate_stream(
+            iter(menus()), FixedRung(2), fast_connection(), watch_time_s=30.0,
+            telemetry=log,
+        )
+        for record, sent, acked in zip(
+            result.records, log.video_sent, log.video_acked
+        ):
+            assert acked.time - sent.time == pytest.approx(
+                record.transmission_time
+            )
+
+    def test_startup_event_logged(self):
+        log = TelemetryLog()
+        simulate_stream(
+            iter(menus()), FixedRung(0), fast_connection(), watch_time_s=20.0,
+            telemetry=log,
+        )
+        events = [r.event for r in log.client_buffer]
+        assert BufferEvent.STARTUP in events
+
+    def test_rebuffer_event_logged_on_stall(self):
+        log = TelemetryLog()
+        simulate_stream(
+            iter(menus()),
+            FixedRung(9),
+            TcpConnection(ConstantLink(3e5), base_rtt=0.05),
+            watch_time_s=60.0,
+            telemetry=log,
+        )
+        events = [r.event for r in log.client_buffer]
+        assert BufferEvent.REBUFFER in events
+
+    def test_cum_rebuf_monotone(self):
+        log = TelemetryLog()
+        simulate_stream(
+            iter(menus()),
+            FixedRung(8),
+            TcpConnection(ConstantLink(8e5), base_rtt=0.05),
+            watch_time_s=60.0,
+            telemetry=log,
+        )
+        values = [r.cum_rebuf for r in log.client_buffer]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestExtensionHook:
+    def test_hook_extends_watch_time(self):
+        calls = []
+
+        def hook(t, result):
+            calls.append(t)
+            return 30.0 if len(calls) == 1 else 0.0
+
+        result = simulate_stream(
+            iter(menus(10_000)), FixedRung(0), fast_connection(),
+            watch_time_s=30.0, extension_hook=hook,
+        )
+        assert calls
+        assert result.total_time > 35.0
+
+    def test_hook_declining_keeps_intended_time(self):
+        result = simulate_stream(
+            iter(menus(10_000)), FixedRung(0), fast_connection(),
+            watch_time_s=30.0, extension_hook=lambda t, r: 0.0,
+        )
+        assert result.total_time == pytest.approx(30.0, abs=2.5)

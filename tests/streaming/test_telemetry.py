@@ -1,0 +1,68 @@
+"""Tests for repro.streaming.telemetry — open-data record formats."""
+
+from repro.net.tcp import TcpInfo
+from repro.streaming.telemetry import (
+    BufferEvent,
+    ClientBufferRecord,
+    TelemetryLog,
+    VideoAckedRecord,
+    VideoSentRecord,
+)
+
+
+def info():
+    return TcpInfo(cwnd=42.0, in_flight=7.0, min_rtt=0.04, rtt=0.055,
+                   delivery_rate=6.5e6)
+
+
+class TestRecords:
+    def test_video_sent_from_send_copies_tcp_info(self):
+        rec = VideoSentRecord.from_send(
+            time=1.5, stream_id=2, expt_id=3, chunk_index=4,
+            size=100_000, ssim_index=0.98, info=info(),
+        )
+        assert rec.cwnd == 42.0
+        assert rec.in_flight == 7.0
+        assert rec.min_rtt == 0.04
+        assert rec.rtt == 0.055
+        assert rec.delivery_rate == 6.5e6
+
+    def test_video_sent_has_appendix_b_fields(self):
+        rec = VideoSentRecord.from_send(
+            time=0.0, stream_id=0, expt_id=0, chunk_index=0,
+            size=1.0, ssim_index=0.9, info=info(),
+        )
+        d = rec.to_dict()
+        for field in ("time", "stream_id", "expt_id", "size", "ssim_index",
+                      "cwnd", "in_flight", "min_rtt", "rtt", "delivery_rate"):
+            assert field in d
+
+    def test_client_buffer_event_serialized_as_string(self):
+        rec = ClientBufferRecord(
+            time=0.0, stream_id=1, expt_id=1, event=BufferEvent.REBUFFER,
+            buffer=3.5, cum_rebuf=1.0,
+        )
+        assert rec.to_dict()["event"] == "rebuffer"
+
+    def test_video_acked_to_dict(self):
+        rec = VideoAckedRecord(time=2.0, stream_id=1, expt_id=1, chunk_index=5)
+        assert rec.to_dict() == {
+            "time": 2.0, "stream_id": 1, "expt_id": 1, "chunk_index": 5,
+        }
+
+
+class TestTelemetryLog:
+    def test_extend_merges(self):
+        a, b = TelemetryLog(), TelemetryLog()
+        a.video_acked.append(VideoAckedRecord(0.0, 0, 0, 0))
+        b.video_acked.append(VideoAckedRecord(1.0, 1, 0, 0))
+        b.client_buffer.append(
+            ClientBufferRecord(0.0, 1, 0, BufferEvent.TIMER, 1.0, 0.0)
+        )
+        a.extend(b)
+        assert len(a.video_acked) == 2
+        assert len(a.client_buffer) == 1
+        assert len(a) == 3
+
+    def test_empty_log(self):
+        assert len(TelemetryLog()) == 0

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.minutes == 5.0
+        assert args.mbps == 6.0
+
+    def test_detectability_args(self):
+        args = build_parser().parse_args(
+            ["detectability", "--streams", "100", "200", "--trials", "3"]
+        )
+        assert args.streams == [100, 200]
+        assert args.trials == 3
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        code = main(["quickstart", "--minutes", "0.5", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bba" in out
+        assert "mpc_hm" in out
+
+    def test_detectability_runs(self, capsys):
+        code = main(
+            [
+                "detectability",
+                "--streams", "100",
+                "--trials", "2",
+                "--improvement", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "P(detect)" in capsys.readouterr().out
+
+    def test_train_fugu_writes_model(self, tmp_path, capsys):
+        out_file = tmp_path / "ttp.json"
+        code = main(
+            [
+                "train-fugu",
+                "--streams", "6",
+                "--iterations", "0",
+                "--epochs", "1",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        state = json.loads(out_file.read_text())
+        assert len(state["models"]) == 5
+
+    def test_saved_model_loads_back(self, tmp_path):
+        from repro.core.ttp import TransmissionTimePredictor
+
+        out_file = tmp_path / "ttp.json"
+        main(
+            [
+                "train-fugu",
+                "--streams", "6",
+                "--iterations", "0",
+                "--epochs", "1",
+                "--output", str(out_file),
+            ]
+        )
+        predictor = TransmissionTimePredictor()
+        predictor.load_state_dict(json.loads(out_file.read_text()))

@@ -1,0 +1,85 @@
+"""Tests for repro.traces.fcc — FCC-style trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.traces.fcc import (
+    FccTraceConfig,
+    fcc_trace_link,
+    generate_fcc_dataset,
+    generate_fcc_trace,
+)
+
+
+class TestGenerate:
+    def test_duration(self):
+        trace = generate_fcc_trace(FccTraceConfig(duration_s=100), seed=0)
+        assert len(trace) == 100
+
+    def test_cap_respected(self):
+        config = FccTraceConfig(cap_bps=12e6)
+        for seed in range(20):
+            trace = generate_fcc_trace(config, seed=seed)
+            assert max(trace) <= 12e6
+
+    def test_means_span_configured_band(self):
+        config = FccTraceConfig()
+        means = [
+            np.mean(generate_fcc_trace(config, seed=s)) for s in range(200)
+        ]
+        assert min(means) < 1e6  # slow DSL-like traces present
+        assert max(means) > 3e6  # faster cable-like traces present
+
+    def test_within_trace_variability_is_mild(self):
+        # FCC broadband traces are tame compared with Puffer paths — the
+        # crux of the Fig. 11 mismatch.
+        config = FccTraceConfig()
+        cvs = []
+        for seed in range(30):
+            trace = np.array(generate_fcc_trace(config, seed=seed))
+            cvs.append(trace.std() / trace.mean())
+        assert np.mean(cvs) < 0.5
+
+    def test_no_deep_outages(self):
+        config = FccTraceConfig()
+        for seed in range(30):
+            trace = np.array(generate_fcc_trace(config, seed=seed))
+            assert trace.min() > trace.mean() * 0.2
+
+    def test_tamer_than_heavy_tail_link(self):
+        from repro.net.link import HeavyTailLink
+        from repro.traces.stats import summarize_trace
+
+        fcc = summarize_trace(generate_fcc_trace(seed=1))
+        puffer = summarize_trace(
+            HeavyTailLink(base_bps=3e6, fade_rate=0.02, seed=1).sample_epochs(
+                320, epoch=1.0
+            )
+        )
+        assert fcc.tail_ratio < puffer.tail_ratio
+
+    def test_deterministic_given_seed(self):
+        assert generate_fcc_trace(seed=5) == generate_fcc_trace(seed=5)
+
+    def test_dataset_size_and_variety(self):
+        traces = generate_fcc_dataset(10, seed=0)
+        assert len(traces) == 10
+        means = [np.mean(t) for t in traces]
+        assert len(set(np.round(means, 0))) > 5
+
+    def test_dataset_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_fcc_dataset(0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FccTraceConfig(duration_s=0)
+        with pytest.raises(ValueError):
+            FccTraceConfig(min_mean_bps=8e6, max_mean_bps=4e6)
+        with pytest.raises(ValueError):
+            FccTraceConfig(reversion=0.0)
+
+    def test_link_builder(self):
+        link = fcc_trace_link(seed=3)
+        assert link.capacity_at(0.0) > 0
+        assert link.loop

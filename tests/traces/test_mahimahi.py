@@ -1,0 +1,81 @@
+"""Tests for repro.traces.mahimahi — trace format I/O."""
+
+import pytest
+
+from repro.net.link import TraceLink
+from repro.traces.mahimahi import (
+    PACKET_BITS,
+    link_from_mahimahi,
+    rates_to_trace,
+    read_mahimahi_trace,
+    trace_to_rates,
+    write_mahimahi_trace,
+)
+
+
+class TestIo:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace"
+        times = [0, 5, 5, 12, 100]
+        write_mahimahi_trace(path, times)
+        assert read_mahimahi_trace(path) == times
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("1\n\n2\n\n")
+        assert read_mahimahi_trace(path) == [1, 2]
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("1\nfoo\n")
+        with pytest.raises(ValueError, match="not an integer"):
+            read_mahimahi_trace(path)
+
+    def test_decreasing_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("5\n3\n")
+        with pytest.raises(ValueError, match="non-decreasing"):
+            read_mahimahi_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "trace"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_mahimahi_trace(path)
+
+    def test_write_rejects_decreasing(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_mahimahi_trace(tmp_path / "t", [3, 1])
+
+    def test_write_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_mahimahi_trace(tmp_path / "t", [])
+
+
+class TestConversion:
+    def test_trace_to_rates_counts_packets(self):
+        # 4 packets in the first second -> 4 * 12000 bits/s.
+        rates = trace_to_rates([0, 250, 500, 750, 1500], epoch=1.0)
+        assert rates[0] == 4 * PACKET_BITS
+        assert rates[1] == 1 * PACKET_BITS
+
+    def test_rates_to_trace_preserves_rate(self):
+        rates = [1.2e6, 2.4e6]
+        times = rates_to_trace(rates, epoch=1.0)
+        recovered = trace_to_rates(times, epoch=1.0)
+        assert recovered[0] == pytest.approx(1.2e6, rel=0.01)
+        assert recovered[1] == pytest.approx(2.4e6, rel=0.01)
+
+    def test_rates_to_trace_rejects_too_slow(self):
+        with pytest.raises(ValueError, match="no packets"):
+            rates_to_trace([10.0], epoch=1.0)
+
+    def test_link_from_mahimahi(self):
+        times = rates_to_trace([1.2e6] * 5, epoch=1.0)
+        link = link_from_mahimahi(times, epoch=1.0)
+        assert isinstance(link, TraceLink)
+        assert link.capacity_at(2.0) == pytest.approx(1.2e6, rel=0.01)
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ValueError):
+            trace_to_rates([0, 1], epoch=0.0)

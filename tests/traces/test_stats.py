@@ -1,0 +1,78 @@
+"""Tests for repro.traces.stats — trace statistics and the Fig. 2 modality
+discriminator."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import HeavyTailLink, MarkovLink
+from repro.traces.stats import (
+    pooled_throughput_distribution,
+    summarize_trace,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize_trace([1e6, 2e6, 3e6, 4e6])
+        assert stats.mean_bps == pytest.approx(2.5e6)
+        assert stats.median_bps == pytest.approx(2.5e6)
+        assert stats.n_epochs == 4
+
+    def test_constant_trace(self):
+        stats = summarize_trace([5e6] * 100)
+        assert stats.std_bps == 0.0
+        assert stats.coefficient_of_variation == 0.0
+        assert stats.modality_score == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trace([1.0, -1.0])
+
+    def test_tail_ratio(self):
+        stats = summarize_trace(list(np.linspace(1e6, 10e6, 100)))
+        assert stats.tail_ratio > 5
+
+    def test_markov_link_is_multimodal(self):
+        # Fig. 2a: CS2P-style discrete states produce a multimodal
+        # log-throughput histogram.
+        link = MarkovLink(
+            [1e6, 8e6], switch_probability=0.05, jitter_sigma=0.02, seed=0
+        )
+        stats = summarize_trace(link.sample_epochs(800, epoch=1.0))
+        assert stats.modality_score >= 2
+
+    def test_heavy_tail_link_is_unimodal(self):
+        # Fig. 2b: Puffer-style continuous evolution has one broad mode.
+        link = HeavyTailLink(base_bps=3e6, fade_rate=0.0, seed=0)
+        stats = summarize_trace(link.sample_epochs(800, epoch=1.0))
+        assert stats.modality_score <= 2
+
+    def test_modality_discriminates_on_average(self):
+        markov_scores, heavy_scores = [], []
+        for seed in range(10):
+            markov = MarkovLink(
+                [8e5, 4e6, 2e7], switch_probability=0.04,
+                jitter_sigma=0.03, seed=seed,
+            )
+            heavy = HeavyTailLink(base_bps=4e6, fade_rate=0.0, seed=seed)
+            markov_scores.append(
+                summarize_trace(markov.sample_epochs(600, epoch=1.0)).modality_score
+            )
+            heavy_scores.append(
+                summarize_trace(heavy.sample_epochs(600, epoch=1.0)).modality_score
+            )
+        assert np.mean(markov_scores) > np.mean(heavy_scores)
+
+
+class TestPooled:
+    def test_pooled_distribution(self):
+        pooled = pooled_throughput_distribution([[1.0, 2.0], [3.0]])
+        assert pooled == [1.0, 2.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pooled_throughput_distribution([])
