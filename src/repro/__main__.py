@@ -63,17 +63,23 @@ def _cmd_trial(args: argparse.Namespace) -> int:
     fugu_predictor = train_fugu_in_situ(
         InSituTrainingConfig(
             bootstrap_streams=60, iteration_streams=60, iterations=1,
-            epochs=8, seed=args.seed,
+            epochs=8, seed=args.seed, workers=args.workers,
         )
     )
     pensieve = train_pensieve_in_simulation(
         episodes=300, seed=args.seed, n_candidates=2
     )
     specs = primary_experiment_schemes(fugu_predictor, pensieve)
-    print(f"randomizing {args.sessions} sessions…", file=sys.stderr)
+    print(
+        f"randomizing {args.sessions} sessions"
+        f" across {args.workers} worker(s)…",
+        file=sys.stderr,
+    )
     trial = RandomizedTrial(
         specs, TrialConfig(n_sessions=args.sessions, seed=args.seed)
-    ).run()
+    ).run(workers=args.workers)
+    if trial.throughput is not None:
+        print(trial.throughput.format(), file=sys.stderr)
     print(f"{'Scheme':<15}{'Stall %':>9}{'SSIM dB':>9}{'N':>6}")
     for name in trial.scheme_names:
         streams = trial.streams_for(name)
@@ -97,6 +103,7 @@ def _cmd_train_fugu(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             epochs=args.epochs,
             seed=args.seed,
+            workers=args.workers,
         )
     )
     with open(args.output, "w") as f:
@@ -145,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     trial = sub.add_parser("trial", help="run a miniature randomized trial")
     trial.add_argument("--sessions", type=int, default=200)
     trial.add_argument("--seed", type=int, default=0)
+    trial.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the session loop (results are "
+        "bit-identical at any worker count)",
+    )
     trial.set_defaults(func=_cmd_trial)
 
     train = sub.add_parser("train-fugu", help="train the TTP in situ")
@@ -152,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--iterations", type=int, default=1)
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for telemetry collection",
+    )
     train.add_argument("--output", default="fugu_ttp.json")
     train.set_defaults(func=_cmd_train_fugu)
 

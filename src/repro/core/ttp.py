@@ -218,6 +218,11 @@ class TransmissionTimePredictor:
                 "predict_throughput": self.config.predict_throughput,
                 "ablated_features": sorted(self.config.ablated_features),
             },
+            # The in-situ tail calibration (calibrate_tail) is part of the
+            # trained model: a frozen snapshot that dropped it would plan
+            # with the uncalibrated 9.75 s tail center and mis-weight deep
+            # fades against the µ=100 stall penalty.
+            "tail_center_s": self.tail_center_s,
             "models": [m.state_dict() for m in self.models],
         }
 
@@ -227,6 +232,11 @@ class TransmissionTimePredictor:
             raise ValueError("horizon mismatch while loading TTP state")
         for model, model_state in zip(self.models, saved):
             model.load_state_dict(model_state)
+        tail = state.get("tail_center_s")  # absent in pre-calibration saves
+        if tail is not None:
+            if tail <= 0:
+                raise ValueError("tail_center_s must be positive")
+            self._time_centers[-1] = float(tail)
 
     def copy(self) -> "TransmissionTimePredictor":
         clone = TransmissionTimePredictor(self.config)

@@ -15,9 +15,16 @@ from repro.experiment.consort import (
 from repro.experiment.harness import (
     RandomizedTrial,
     SessionResult,
+    SessionShard,
+    ThroughputReport,
     TrialConfig,
     TrialResult,
+    WorkerTiming,
+    assign_expt_ids,
+    merge_shards,
+    run_session,
 )
+from repro.experiment.parallel import run_trial_parallel
 from repro.experiment.insitu import (
     InSituTrainingConfig,
     deploy_and_collect,
@@ -46,6 +53,13 @@ __all__ = [
     "TrialConfig",
     "TrialResult",
     "SessionResult",
+    "SessionShard",
+    "ThroughputReport",
+    "WorkerTiming",
+    "assign_expt_ids",
+    "merge_shards",
+    "run_session",
+    "run_trial_parallel",
     "SchemeSpec",
     "primary_experiment_schemes",
     "scheme_table",

@@ -43,6 +43,21 @@ class ConsortArm:
                 f"{self.considered} considered != {self.streams_assigned} assigned"
             )
 
+    def merge_from(self, other: "ConsortArm") -> None:
+        """Accumulate another arm's counters (sharded-trial merge)."""
+        if other.scheme != self.scheme:
+            raise ValueError(
+                f"cannot merge arm {other.scheme!r} into {self.scheme!r}"
+            )
+        self.sessions_assigned += other.sessions_assigned
+        self.streams_assigned += other.streams_assigned
+        self.did_not_begin += other.did_not_begin
+        self.watch_time_under_4s += other.watch_time_under_4s
+        self.slow_video_decoder += other.slow_video_decoder
+        self.truncated_loss_of_contact += other.truncated_loss_of_contact
+        self.considered += other.considered
+        self.considered_watch_time_s += other.considered_watch_time_s
+
 
 @dataclass
 class ConsortFlow:
@@ -75,6 +90,16 @@ class ConsortFlow:
     def check(self) -> None:
         for arm in self.arms.values():
             arm.check()
+
+    def merge_from(self, other: "ConsortFlow") -> None:
+        """Accumulate another flow's arms (sharded-trial merge).
+
+        Arms unseen so far are created in ``other``'s order, so merging
+        per-session flows in session order reproduces the serial loop's arm
+        insertion order exactly.
+        """
+        for name, arm in other.arms.items():
+            self.arm(name).merge_from(arm)
 
 
 def classify_stream(result: StreamResult) -> str:

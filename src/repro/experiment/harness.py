@@ -5,15 +5,28 @@ player) is randomly assigned, blinded, to one scheme; a session may contain
 several *streams* (channel changes keep the TCP connection and the assigned
 algorithm, Fig. A1); client telemetry is recorded; exclusions follow the
 CONSORT flow.
+
+Sessions are independent by construction: every random draw a session makes
+is keyed on ``(config.seed, session_id)``, so one arm's behaviour (how long
+its streams run, which channels it watches) cannot perturb the randomness
+any other session sees — exactly as in the real trial, where users arrive
+independently.  That independence is what makes the trial *embarrassingly
+parallel*: :func:`run_session` is a pure function of
+``(specs, config, session_id)`` and the process-pool engine in
+:mod:`repro.experiment.parallel` shards sessions across workers and merges
+the shards back bit-identically to the serial loop.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.abr.base import AbrAlgorithm
 from repro.experiment.consort import (
     ConsortFlow,
     classify_stream,
@@ -68,6 +81,58 @@ class SessionResult:
         return sum(stream.total_time for stream in self.streams)
 
 
+@dataclass(frozen=True)
+class WorkerTiming:
+    """How much work one worker process did during a trial."""
+
+    worker: int
+    """Worker identity (the OS pid for pool workers; 0 for the serial path)."""
+
+    sessions: int
+    streams: int
+    busy_s: float
+    """Seconds the worker spent simulating (excludes pool overhead)."""
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Lightweight throughput accounting for one trial run."""
+
+    mode: str
+    """``"serial"`` or the multiprocessing start method (``"fork"`` …)."""
+
+    workers: int
+    n_sessions: int
+    n_streams: int
+    wall_s: float
+    chunk_size: int
+    per_worker: List[WorkerTiming] = field(default_factory=list)
+
+    @property
+    def sessions_per_s(self) -> float:
+        return self.n_sessions / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def streams_per_s(self) -> float:
+        return self.n_streams / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (for the CLI's stderr)."""
+        lines = [
+            f"trial throughput: {self.n_sessions} sessions "
+            f"({self.n_streams} streams) in {self.wall_s:.2f}s "
+            f"= {self.sessions_per_s:.1f} sessions/s, "
+            f"{self.streams_per_s:.1f} streams/s "
+            f"[{self.mode}, workers={self.workers}, chunk={self.chunk_size}]"
+        ]
+        for w in self.per_worker:
+            lines.append(
+                f"  worker {w.worker}: {w.sessions} sessions, "
+                f"{w.streams} streams, busy {w.busy_s:.2f}s"
+            )
+        return "\n".join(lines)
+
+
 @dataclass
 class TrialResult:
     """Outcome of a randomized trial."""
@@ -77,6 +142,9 @@ class TrialResult:
     scheme_names: List[str]
     expt_ids: Dict[str, int]
     telemetry: Optional[TelemetryLog] = None
+    throughput: Optional[ThroughputReport] = None
+    """Populated by :meth:`RandomizedTrial.run`; not part of the scientific
+    result (excluded from serial/parallel equivalence comparisons)."""
 
     def sessions_for(self, scheme: str) -> List[SessionResult]:
         return [s for s in self.sessions if s.scheme == scheme]
@@ -96,6 +164,195 @@ class TrialResult:
         return [s.duration for s in self.sessions_for(scheme)]
 
 
+@dataclass
+class SessionShard:
+    """Everything one simulated session contributes to a trial.
+
+    The serial loop and the process-pool engine both produce a stream of
+    shards; :func:`merge_shards` folds them into a :class:`TrialResult`
+    deterministically (by session id), which is what makes the two paths
+    bit-identical.
+    """
+
+    session: SessionResult
+    consort: ConsortFlow
+    telemetry: Optional[TelemetryLog]
+
+
+def assign_expt_ids(specs: Sequence[SchemeSpec], seed: int) -> Dict[str, int]:
+    """Blinding: ``expt_id`` is a shuffled opaque id, not the list position,
+    exactly as in the open data."""
+    id_rng = np.random.default_rng(seed ^ 0x5EED)
+    ids = id_rng.permutation(len(specs)) + 1
+    return {spec.name: int(ids[i]) for i, spec in enumerate(specs)}
+
+
+def media_seed(trial_seed: int, session_id: int, stream_no: int) -> tuple:
+    """Seed of the generator that draws video content and encoder noise.
+
+    Folds the trial seed in (two trials with different seeds must not replay
+    identical video), and keys on ``(session, stream)`` so every stream sees
+    fresh content regardless of how sessions are scheduled across workers.
+    """
+    return (trial_seed, 0x7E1E, session_id, stream_no)
+
+
+def connection_seed(trial_seed: int, session_id: int) -> tuple:
+    """Seed of the per-connection loss process (folds the trial seed in)."""
+    return (trial_seed, 0x1055, session_id)
+
+
+def run_session(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    session_id: int,
+    expt_ids: Optional[Mapping[str, int]] = None,
+    algorithms: Optional[Mapping[str, AbrAlgorithm]] = None,
+) -> SessionShard:
+    """Simulate one randomized session — the pure unit of work both the
+    serial loop and the parallel engine execute.
+
+    Every random draw is keyed on ``(config.seed, session_id)`` so the
+    result depends only on the arguments, never on which sessions ran
+    before it or on which process runs it.
+
+    Parameters
+    ----------
+    expt_ids:
+        The trial's blinded id assignment; derived from ``config.seed`` when
+        omitted.
+    algorithms:
+        Cache of built scheme instances keyed by name.  Callers that run
+        many sessions pass a long-lived cache (one per trial in the serial
+        path, one per worker process in the parallel path — never shared
+        across processes, which is what removes the shared-instance
+        hazard); when omitted, fresh instances are built for this session.
+    """
+    if expt_ids is None:
+        expt_ids = assign_expt_ids(specs, config.seed)
+    if algorithms is None:
+        algorithms = {spec.name: spec.build() for spec in specs}
+
+    consort = ConsortFlow()
+    telemetry = TelemetryLog() if config.collect_telemetry else None
+
+    rng = np.random.default_rng((config.seed, session_id))
+    spec = specs[int(rng.integers(len(specs)))]
+    algorithm = algorithms[spec.name]
+    arm = consort.arm(spec.name)
+    arm.sessions_assigned += 1
+    session = SessionResult(
+        session_id=session_id,
+        scheme=spec.name,
+        expt_id=expt_ids[spec.name],
+    )
+
+    path = PathSampler(
+        population=config.population, seed=config.seed * 1_000_003 + session_id
+    ).next_path()
+    connection = path.connect(seed=connection_seed(config.seed, session_id))
+    clock = 0.0  # connection time shared across the session's streams
+
+    n_streams = 1
+    while (
+        n_streams < config.max_streams_per_session
+        and rng.random() < config.extra_stream_prob
+    ):
+        n_streams += 1
+
+    for stream_no in range(n_streams):
+        kind = config.viewer.sample_stream_kind(rng)
+        watch = config.viewer.sample_watch_time(kind, rng)
+        channel = config.channels[int(rng.integers(len(config.channels)))]
+        media_rng = np.random.default_rng(
+            media_seed(config.seed, session_id, stream_no)
+        )
+        source = VideoSource(channel, rng=media_rng)
+        encoder = VbrEncoder(rng=media_rng)
+        hook = (
+            config.viewer.make_extension_hook(rng)
+            if kind == "view"
+            else None
+        )
+        stream_id = session_id * config.max_streams_per_session + stream_no
+        result = simulate_stream(
+            encoder.stream(source),
+            algorithm,
+            connection,
+            watch_time_s=watch,
+            stream_id=stream_id,
+            expt_id=session.expt_id,
+            telemetry=telemetry,
+            extension_hook=hook,
+            start_time=clock,
+        )
+        result.scheme_name = spec.name
+        clock += result.total_time + float(rng.uniform(0.1, 2.0))
+        # A viewer may change channels while a chunk is still in
+        # flight; the connection must finish (or the kernel flush)
+        # before the next stream's first chunk goes out.
+        clock = max(clock, connection.busy_until + 1e-6)
+        session.streams.append(result)
+
+        arm.streams_assigned += 1
+        category = classify_stream(result)
+        if category == "considered" and rng.random() < config.slow_decoder_prob:
+            result.excluded = True
+            category = "slow_video_decoder"
+        if category == "did_not_begin":
+            arm.did_not_begin += 1
+        elif category == "watch_time_under_4s":
+            arm.watch_time_under_4s += 1
+        elif category == "slow_video_decoder":
+            arm.slow_video_decoder += 1
+        else:
+            arm.considered += 1
+            arm.considered_watch_time_s += result.watch_time
+            if rng.random() < config.loss_of_contact_prob:
+                arm.truncated_loss_of_contact += 1
+
+    return SessionShard(session=session, consort=consort, telemetry=telemetry)
+
+
+def merge_shards(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    expt_ids: Mapping[str, int],
+    shards: Sequence[SessionShard],
+    throughput: Optional[ThroughputReport] = None,
+) -> TrialResult:
+    """Fold session shards into a :class:`TrialResult`.
+
+    Shards are merged in session-id order regardless of the order in which
+    they arrive, so the result — including telemetry record order and the
+    CONSORT arms' insertion order — is identical to the serial loop's.
+    """
+    ordered = sorted(shards, key=lambda shard: shard.session.session_id)
+    ids = [shard.session.session_id for shard in ordered]
+    if ids != list(range(config.n_sessions)):
+        raise ValueError(
+            f"expected shards for sessions 0..{config.n_sessions - 1}, "
+            f"got {len(ids)} shards"
+        )
+    consort = ConsortFlow()
+    telemetry = TelemetryLog() if config.collect_telemetry else None
+    sessions: List[SessionResult] = []
+    for shard in ordered:
+        sessions.append(shard.session)
+        consort.merge_from(shard.consort)
+        if telemetry is not None and shard.telemetry is not None:
+            telemetry.extend(shard.telemetry)
+    consort.check()
+    return TrialResult(
+        sessions=sessions,
+        consort=consort,
+        scheme_names=[spec.name for spec in specs],
+        expt_ids=dict(expt_ids),
+        telemetry=telemetry,
+        throughput=throughput,
+    )
+
+
 class RandomizedTrial:
     """Run a blinded randomized comparison of a set of schemes.
 
@@ -104,6 +361,11 @@ class RandomizedTrial:
     cannot observe which scheme serves them — assignment is a uniform draw
     keyed only by the session id, and ``expt_id`` is an opaque integer as in
     the open data.
+
+    ``run(workers=N)`` shards the sessions across ``N`` worker processes
+    (each with its own scheme instances) and merges the shards back
+    bit-identically to the serial loop; see
+    :mod:`repro.experiment.parallel`.
     """
 
     def __init__(self, specs: Sequence[SchemeSpec], config: TrialConfig) -> None:
@@ -115,103 +377,58 @@ class RandomizedTrial:
         self.specs = list(specs)
         self.config = config
         self._algorithms = {spec.name: spec.build() for spec in self.specs}
-        # Blinding: expt_id is a shuffled opaque id, not the list position.
-        id_rng = np.random.default_rng(config.seed ^ 0x5EED)
-        ids = id_rng.permutation(len(self.specs)) + 1
-        self._expt_ids = {spec.name: int(ids[i]) for i, spec in enumerate(self.specs)}
+        self._expt_ids = assign_expt_ids(self.specs, config.seed)
 
-    def run(self) -> TrialResult:
-        config = self.config
-        consort = ConsortFlow()
-        sessions: List[SessionResult] = []
-        telemetry = TelemetryLog() if config.collect_telemetry else None
+    def run(
+        self, workers: int = 1, chunk_size: Optional[int] = None
+    ) -> TrialResult:
+        """Run the trial.
 
-        for session_id in range(config.n_sessions):
-            # Each session draws from its own generator, so one arm's
-            # behaviour (e.g., how long its streams run) cannot perturb the
-            # randomness any other session sees — arms are independent, as
-            # in the real trial where users arrive independently.
-            rng = np.random.default_rng((config.seed, session_id))
-            spec = self.specs[int(rng.integers(len(self.specs)))]
-            algorithm = self._algorithms[spec.name]
-            arm = consort.arm(spec.name)
-            arm.sessions_assigned += 1
-            session = SessionResult(
-                session_id=session_id,
-                scheme=spec.name,
-                expt_id=self._expt_ids[spec.name],
+        Parameters
+        ----------
+        workers:
+            Number of worker processes.  ``1`` (the default) runs the
+            sessions in this process; ``N > 1`` shards them across ``N``
+            processes.  The result is bit-identical either way.
+        chunk_size:
+            Sessions per parallel task (``workers > 1`` only); defaults to
+            a value that gives each worker several chunks for load balance.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1:
+            from repro.experiment.parallel import run_trial_parallel
+
+            return run_trial_parallel(
+                self.specs, self.config, workers=workers, chunk_size=chunk_size
             )
 
-            path = PathSampler(
-                population=config.population, seed=config.seed * 1_000_003 + session_id
-            ).next_path()
-            connection = path.connect(seed=session_id)
-            clock = 0.0  # connection time shared across the session's streams
-
-            n_streams = 1
-            while (
-                n_streams < config.max_streams_per_session
-                and rng.random() < config.extra_stream_prob
-            ):
-                n_streams += 1
-
-            for stream_no in range(n_streams):
-                kind = config.viewer.sample_stream_kind(rng)
-                watch = config.viewer.sample_watch_time(kind, rng)
-                channel = config.channels[int(rng.integers(len(config.channels)))]
-                media_rng = np.random.default_rng(
-                    (session_id * 31 + stream_no) * 2 + 1
+        config = self.config
+        start = time.perf_counter()
+        shards = [
+            run_session(
+                self.specs, config, session_id, self._expt_ids, self._algorithms
+            )
+            for session_id in range(config.n_sessions)
+        ]
+        wall = time.perf_counter() - start
+        n_streams = sum(len(shard.session.streams) for shard in shards)
+        report = ThroughputReport(
+            mode="serial",
+            workers=1,
+            n_sessions=config.n_sessions,
+            n_streams=n_streams,
+            wall_s=wall,
+            chunk_size=config.n_sessions,
+            per_worker=[
+                WorkerTiming(
+                    worker=os.getpid(),
+                    sessions=config.n_sessions,
+                    streams=n_streams,
+                    busy_s=wall,
                 )
-                source = VideoSource(channel, rng=media_rng)
-                encoder = VbrEncoder(rng=media_rng)
-                hook = (
-                    config.viewer.make_extension_hook(rng)
-                    if kind == "view"
-                    else None
-                )
-                stream_id = session_id * config.max_streams_per_session + stream_no
-                result = simulate_stream(
-                    encoder.stream(source),
-                    algorithm,
-                    connection,
-                    watch_time_s=watch,
-                    stream_id=stream_id,
-                    expt_id=session.expt_id,
-                    telemetry=telemetry,
-                    extension_hook=hook,
-                    start_time=clock,
-                )
-                result.scheme_name = spec.name
-                clock += result.total_time + float(rng.uniform(0.1, 2.0))
-                # A viewer may change channels while a chunk is still in
-                # flight; the connection must finish (or the kernel flush)
-                # before the next stream's first chunk goes out.
-                clock = max(clock, connection.busy_until + 1e-6)
-                session.streams.append(result)
-
-                arm.streams_assigned += 1
-                category = classify_stream(result)
-                if category == "considered" and rng.random() < config.slow_decoder_prob:
-                    result.excluded = True
-                    category = "slow_video_decoder"
-                if category == "did_not_begin":
-                    arm.did_not_begin += 1
-                elif category == "watch_time_under_4s":
-                    arm.watch_time_under_4s += 1
-                elif category == "slow_video_decoder":
-                    arm.slow_video_decoder += 1
-                else:
-                    arm.considered += 1
-                    arm.considered_watch_time_s += result.watch_time
-                    if rng.random() < config.loss_of_contact_prob:
-                        arm.truncated_loss_of_contact += 1
-            sessions.append(session)
-
-        consort.check()
-        return TrialResult(
-            sessions=sessions,
-            consort=consort,
-            scheme_names=[spec.name for spec in self.specs],
-            expt_ids=dict(self._expt_ids),
-            telemetry=telemetry,
+            ],
+        )
+        return merge_shards(
+            self.specs, config, self._expt_ids, shards, throughput=report
         )

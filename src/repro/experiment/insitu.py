@@ -43,42 +43,64 @@ from repro.traces import generate_fcc_dataset
 import numpy as np
 
 
+def _collect_one_stream(payload, i: int) -> StreamResult:
+    """One round-robin collection stream — pure in ``(payload, i)``.
+
+    Module-level so the parallel engine's :func:`fork_map` can address it;
+    ``payload`` carries the (possibly unpicklable) algorithm instances by
+    fork inheritance, so each worker process operates on its own copies.
+    """
+    algorithms, population, watch_time_s, seed = payload
+    algorithm = algorithms[i % len(algorithms)]
+    stream_seed = seed * 1_000_003 + i
+    rng = np.random.default_rng(stream_seed)
+    channel = DEFAULT_CHANNELS[i % len(DEFAULT_CHANNELS)]
+    source = VideoSource(channel, rng=rng)
+    encoder = VbrEncoder(rng=rng)
+    path = PathSampler(population=population, seed=stream_seed).next_path()
+    connection = path.connect(seed=stream_seed)
+    return simulate_stream(
+        encoder.stream(source),
+        algorithm,
+        connection,
+        watch_time_s=watch_time_s,
+        stream_id=i,
+    )
+
+
 def deploy_and_collect(
     algorithms: Sequence[AbrAlgorithm],
     n_streams: int,
     seed: int,
     config: Optional[TrialConfig] = None,
     watch_time_s: float = 240.0,
+    workers: int = 1,
 ) -> List[StreamResult]:
     """Run a round-robin deployment of ``algorithms`` and return the
     eligible streams — the telemetry-collection half of the in-situ loop.
 
     A lighter-weight path than the full RCT harness: every stream is a
-    "view" of fixed length so the collected dataset is dense.
+    "view" of fixed length so the collected dataset is dense.  Streams are
+    seeded independently, so with ``workers > 1`` they are sharded across a
+    process pool (each worker operating on fork-inherited copies of the
+    algorithms) with results identical to the serial loop.
     """
     if not algorithms:
         raise ValueError("need at least one algorithm")
     if n_streams <= 0:
         raise ValueError("n_streams must be positive")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     population = config.population if config is not None else TrialConfig().population
-    results: List[StreamResult] = []
-    for i in range(n_streams):
-        algorithm = algorithms[i % len(algorithms)]
-        stream_seed = seed * 1_000_003 + i
-        rng = np.random.default_rng(stream_seed)
-        channel = DEFAULT_CHANNELS[i % len(DEFAULT_CHANNELS)]
-        source = VideoSource(channel, rng=rng)
-        encoder = VbrEncoder(rng=rng)
-        path = PathSampler(population=population, seed=stream_seed).next_path()
-        connection = path.connect(seed=stream_seed)
-        result = simulate_stream(
-            encoder.stream(source),
-            algorithm,
-            connection,
-            watch_time_s=watch_time_s,
-            stream_id=i,
+    payload = (list(algorithms), population, watch_time_s, seed)
+    if workers > 1:
+        from repro.experiment.parallel import fork_map
+
+        results = fork_map(
+            _collect_one_stream, payload, range(n_streams), workers
         )
-        results.append(result)
+    else:
+        results = [_collect_one_stream(payload, i) for i in range(n_streams)]
     return eligible_streams(results)
 
 
@@ -93,6 +115,9 @@ class InSituTrainingConfig:
     watch_time_s: float = 240.0
     ttp_config: TtpConfig = field(default_factory=TtpConfig)
     seed: int = 0
+    workers: int = 1
+    """Worker processes for the telemetry-collection phases (the training
+    phases are already vectorized); results are identical at any count."""
 
 
 def train_fugu_in_situ(
@@ -112,6 +137,7 @@ def train_fugu_in_situ(
         seed=config.seed,
         config=trial_config,
         watch_time_s=config.watch_time_s,
+        workers=config.workers,
     )
     all_streams = list(streams)
     predictor.calibrate_tail(all_streams)
@@ -125,6 +151,7 @@ def train_fugu_in_situ(
             seed=config.seed + 7919 * (iteration + 1),
             config=trial_config,
             watch_time_s=config.watch_time_s,
+            workers=config.workers,
         )
         all_streams.extend(on_policy)
         predictor.calibrate_tail(all_streams)

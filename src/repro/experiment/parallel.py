@@ -1,0 +1,268 @@
+"""Process-pool parallel trial engine.
+
+The paper's statistics rest on scale — 38.6 client-years of data from about
+half a million streams — and a serial Python loop over sessions is the
+bottleneck for anything paper-sized.  Sessions are independent by
+construction (every draw is keyed on ``(config.seed, session_id)``; see
+:func:`repro.experiment.harness.run_session`), so a trial is embarrassingly
+parallel:
+
+1. session ids are sharded into contiguous chunks (several chunks per
+   worker, for load balance — sessions vary a lot in length, Fig. 10);
+2. each worker process builds its **own** scheme instances via
+   ``SchemeSpec.build()`` — instances are never shared across processes,
+   which removes the cross-session shared-instance hazard of the historical
+   single-loop harness;
+3. the resulting :class:`~repro.experiment.harness.SessionShard` stream is
+   merged by session id, making the output — stream records, CONSORT
+   counts, telemetry record order — **bit-identical** to the serial path
+   for the same :class:`~repro.experiment.harness.TrialConfig`.
+
+Scheme factories often close over big model objects (a trained TTP, a
+Pensieve policy) as lambdas, which do not pickle.  On platforms with the
+``fork`` start method (Linux), workers inherit the specs by copy-on-write
+fork, so nothing needs to pickle.  Elsewhere the engine tries to pickle the
+payload for ``spawn`` workers and falls back to the serial loop when it
+cannot — correctness first, speedup where the platform allows.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiment.harness import (
+    SessionShard,
+    ThroughputReport,
+    TrialConfig,
+    TrialResult,
+    WorkerTiming,
+    assign_expt_ids,
+    merge_shards,
+    run_session,
+)
+from repro.experiment.schemes import SchemeSpec
+
+DEFAULT_CHUNKS_PER_WORKER = 4
+"""Target number of chunks handed to each worker (load balancing: sessions
+have heavy-tailed durations, so fine-grained chunks stop one long chunk from
+straggling the whole pool)."""
+
+# ---------------------------------------------------------------------------
+# Worker-side state.
+#
+# ``_WORKER_PAYLOAD`` is set in the parent immediately before the pool forks,
+# so forked children inherit it; spawn children receive a pickled copy via
+# the pool initializer.  ``_WORKER_ALGORITHMS`` is the per-process scheme
+# instance cache, built lazily on the first chunk a worker executes.
+# ---------------------------------------------------------------------------
+_WORKER_PAYLOAD: Optional[Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]]] = None
+_WORKER_ALGORITHMS = None
+
+
+@dataclass
+class _ChunkResult:
+    """One chunk of sessions simulated by one worker."""
+
+    worker: int
+    shards: List[SessionShard]
+    busy_s: float
+
+
+def _init_spawn_worker(payload_bytes: bytes) -> None:
+    """Pool initializer for spawn-based platforms."""
+    global _WORKER_PAYLOAD, _WORKER_ALGORITHMS
+    _WORKER_PAYLOAD = pickle.loads(payload_bytes)
+    _WORKER_ALGORITHMS = None
+
+
+def _run_chunk(session_ids: Sequence[int]) -> _ChunkResult:
+    """Simulate a contiguous chunk of sessions in this worker process."""
+    global _WORKER_ALGORITHMS
+    if _WORKER_PAYLOAD is None:
+        raise RuntimeError("worker payload missing (pool misconfigured)")
+    specs, config, expt_ids = _WORKER_PAYLOAD
+    if _WORKER_ALGORITHMS is None:
+        # Per-worker scheme instances: built once per process, reused across
+        # this worker's sessions, never shared with any other process.
+        _WORKER_ALGORITHMS = {spec.name: spec.build() for spec in specs}
+    start = time.perf_counter()
+    shards = [
+        run_session(specs, config, session_id, expt_ids, _WORKER_ALGORITHMS)
+        for session_id in session_ids
+    ]
+    return _ChunkResult(
+        worker=os.getpid(),
+        shards=shards,
+        busy_s=time.perf_counter() - start,
+    )
+
+
+def plan_chunks(
+    n_sessions: int, workers: int, chunk_size: Optional[int] = None
+) -> List[range]:
+    """Contiguous session-id chunks for the pool (deterministic)."""
+    if n_sessions <= 0:
+        raise ValueError("n_sessions must be positive")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunk_size is None:
+        chunk_size = max(
+            1, math.ceil(n_sessions / (workers * DEFAULT_CHUNKS_PER_WORKER))
+        )
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        range(start, min(start + chunk_size, n_sessions))
+        for start in range(0, n_sessions, chunk_size)
+    ]
+
+
+def _payload_for_spawn(
+    payload: Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]],
+) -> Optional[bytes]:
+    """Pickle the worker payload, or ``None`` if it cannot travel."""
+    try:
+        return pickle.dumps(payload)
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return None
+
+
+def run_trial_parallel(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    workers: int,
+    chunk_size: Optional[int] = None,
+) -> TrialResult:
+    """Run a randomized trial sharded across ``workers`` processes.
+
+    Bit-identical to ``RandomizedTrial(specs, config).run()`` for the same
+    ``config``: same sessions, same stream records, same CONSORT counts,
+    same telemetry records in the same order.  Falls back to the serial
+    loop (with a ``mode="serial"`` throughput report) when the platform can
+    neither fork nor pickle the scheme specs.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    specs = list(specs)
+    names = [spec.name for spec in specs]
+    if not specs:
+        raise ValueError("need at least one scheme")
+    if len(set(names)) != len(names):
+        raise ValueError("scheme names must be unique")
+
+    workers = min(workers, config.n_sessions)
+    expt_ids = assign_expt_ids(specs, config.seed)
+    payload = (specs, config, expt_ids)
+
+    if workers == 1:
+        from repro.experiment.harness import RandomizedTrial
+
+        return RandomizedTrial(specs, config).run()
+
+    chunks = plan_chunks(config.n_sessions, workers, chunk_size)
+    effective_chunk = len(chunks[0])
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+        mode = "fork"
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+        mode = ctx.get_start_method()
+
+    global _WORKER_PAYLOAD
+    start = time.perf_counter()
+    chunk_results: List[_ChunkResult]
+    if mode == "fork":
+        _WORKER_PAYLOAD = payload
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                chunk_results = pool.map(_run_chunk, chunks, chunksize=1)
+        finally:
+            _WORKER_PAYLOAD = None
+    else:  # pragma: no cover - non-fork platforms
+        payload_bytes = _payload_for_spawn(payload)
+        if payload_bytes is None:
+            # Unpicklable factories and no fork: correctness over speedup.
+            from repro.experiment.harness import RandomizedTrial
+
+            return RandomizedTrial(specs, config).run()
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_spawn_worker,
+            initargs=(payload_bytes,),
+        ) as pool:
+            chunk_results = pool.map(_run_chunk, chunks, chunksize=1)
+    wall = time.perf_counter() - start
+
+    shards = [shard for result in chunk_results for shard in result.shards]
+    per_worker: Dict[int, List[_ChunkResult]] = {}
+    for result in chunk_results:
+        per_worker.setdefault(result.worker, []).append(result)
+    timings = [
+        WorkerTiming(
+            worker=worker,
+            sessions=sum(len(r.shards) for r in results),
+            streams=sum(
+                len(shard.session.streams)
+                for r in results
+                for shard in r.shards
+            ),
+            busy_s=sum(r.busy_s for r in results),
+        )
+        for worker, results in sorted(per_worker.items())
+    ]
+    report = ThroughputReport(
+        mode=mode,
+        workers=workers,
+        n_sessions=config.n_sessions,
+        n_streams=sum(t.streams for t in timings),
+        wall_s=wall,
+        chunk_size=effective_chunk,
+        per_worker=timings,
+    )
+    return merge_shards(specs, config, expt_ids, shards, throughput=report)
+
+
+# ---------------------------------------------------------------------------
+# Generic forked map — used by the in-situ collection loop.
+# ---------------------------------------------------------------------------
+_FORK_MAP_STATE: Optional[Tuple[object, object]] = None
+
+
+def _fork_map_call(item):
+    if _FORK_MAP_STATE is None:
+        raise RuntimeError("fork_map worker state missing")
+    fn, payload = _FORK_MAP_STATE
+    return fn(payload, item)
+
+
+def fork_map(fn, payload, items: Sequence, workers: int) -> List:
+    """``[fn(payload, item) for item in items]`` across a forked pool.
+
+    ``payload`` travels to the workers by fork inheritance (copy-on-write),
+    so it may hold unpicklable objects such as live algorithm instances; the
+    per-item results must pickle.  Order is preserved.  Falls back to an
+    in-process loop when ``workers <= 1``, when there are few items, or when
+    the platform cannot fork.
+    """
+    items = list(items)
+    workers = min(int(workers), len(items))
+    if workers <= 1:
+        return [fn(payload, item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return [fn(payload, item) for item in items]
+    global _FORK_MAP_STATE
+    _FORK_MAP_STATE = (fn, payload)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_fork_map_call, items, chunksize=1)
+    finally:
+        _FORK_MAP_STATE = None

@@ -38,6 +38,12 @@ class RoundSample:
     loss:
         True when the round experienced a loss event (loss-based CC reacts;
         BBR largely ignores it).
+    app_limited:
+        True when the round's send was limited by available application
+        data rather than by the congestion window (the final, partial round
+        of a chunk).  Mirrors Linux's ``rate_sample.is_app_limited``: such
+        samples understate the path's capacity and must not lower
+        delivery-rate estimates.
     """
 
     delivered_bytes: float
@@ -46,6 +52,7 @@ class RoundSample:
     delivery_rate_bps: float
     link_limited: bool
     loss: bool
+    app_limited: bool = False
 
 
 class CongestionControl:

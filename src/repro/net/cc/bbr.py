@@ -49,18 +49,33 @@ class BbrLike(CongestionControl):
         return self._in_startup
 
     def on_round(self, sample: RoundSample) -> None:
-        self._bw_samples.append(sample.delivery_rate_bps)
+        # As in Linux BBR, app-limited rate samples are ignored unless they
+        # exceed the current estimate: a partial final round says nothing
+        # about the bottleneck (and appending it would also evict a genuine
+        # sample from the windowed-max filter).
+        if not sample.app_limited or (
+            sample.delivery_rate_bps > self.bandwidth_estimate_bps
+        ):
+            self._bw_samples.append(sample.delivery_rate_bps)
         self._min_rtt = min(self._min_rtt, sample.rtt)
         bw = self.bandwidth_estimate_bps
         if self._in_startup:
             if bw > self._full_pipe_baseline * _FULL_PIPE_GROWTH:
                 self._full_pipe_baseline = bw
                 self._stale_rounds = 0
-            else:
+            elif not sample.app_limited:
+                # App-limited rounds are no evidence the pipe is full
+                # (Linux: bbr_check_full_bw_reached bails on app-limited
+                # samples), so they don't age the full-pipe check.
                 self._stale_rounds += 1
                 if self._stale_rounds >= _FULL_PIPE_ROUNDS:
                     self._in_startup = False
-            self.cwnd_bytes *= 2.0
+            if not sample.app_limited:
+                # Congestion-window validation (RFC 7661): the window does
+                # not grow on rounds the application could not fill —
+                # otherwise streaming small chunks would double cwnd
+                # without bound while staying in STARTUP.
+                self.cwnd_bytes *= 2.0
         if not self._in_startup and bw > 0 and self._min_rtt < float("inf"):
             bdp_bytes = bw / 8.0 * self._min_rtt
             self.cwnd_bytes = self.cwnd_gain * bdp_bytes

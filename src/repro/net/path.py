@@ -50,8 +50,13 @@ class NetworkPath:
             return BbrLike()
         return CubicLike()
 
-    def connect(self, seed: int = 0) -> TcpConnection:
-        """Open a fresh TCP connection over this path."""
+    def connect(self, seed: "int | tuple" = 0) -> TcpConnection:
+        """Open a fresh TCP connection over this path.
+
+        ``seed`` feeds the connection's loss process; any value accepted by
+        :func:`numpy.random.default_rng` works (the trial harness passes an
+        entropy tuple folding the trial seed and session id together).
+        """
         return TcpConnection(
             self.link,
             self.base_rtt,

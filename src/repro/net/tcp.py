@@ -174,6 +174,10 @@ class TcpConnection:
             capacity_bps = self.link.capacity_at(at_time + elapsed)
             capacity_Bps = capacity_bps / 8.0
             window = min(self.cc.cwnd_bytes, remaining)
+            # App-limited round (Linux `app_limited`): the send was capped
+            # by remaining application data, not the congestion window, so
+            # the delivery-rate sample understates what the path can carry.
+            app_limited = remaining < self.cc.cwnd_bytes
             drain_time = window / capacity_Bps
             # Queueing delay from data the bottleneck hasn't drained yet.
             queue_delay = self._queue_bytes / capacity_Bps
@@ -200,11 +204,16 @@ class TcpConnection:
                 delivery_rate_bps=delivery_rate,
                 link_limited=link_limited,
                 loss=loss,
+                app_limited=app_limited,
             )
             self.cc.on_round(sample)
             self.srtt = (1.0 - _SRTT_GAIN) * self.srtt + _SRTT_GAIN * rtt_sample
             self.min_rtt = min(self.min_rtt, rtt_sample)
-            self.delivery_rate_bps = delivery_rate
+            # Linux semantics: app-limited samples may only *raise* the
+            # estimate — a short final round must not make the TTP's
+            # `delivery_rate` feature claim the path got slower.
+            if not app_limited or delivery_rate > self.delivery_rate_bps:
+                self.delivery_rate_bps = delivery_rate
             self._in_flight_bytes = window
             remaining -= window
             elapsed += duration

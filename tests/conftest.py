@@ -12,5 +12,9 @@ settings.register_profile(
     deadline=None,
     max_examples=50,
     suppress_health_check=[HealthCheck.too_slow],
+    # No on-disk example database: together with `-p no:cacheprovider`
+    # (pyproject addopts) this keeps the tier-1 suite runnable in
+    # read-only checkouts, where nothing may be written to the repo root.
+    database=None,
 )
 settings.load_profile("repro")

@@ -181,6 +181,52 @@ class TestTailCalibration:
         stream = StreamResult(0, "x", records=[record(0, tx=500.0)])
         assert ttp.calibrate_tail([stream], cap_s=60.0) == pytest.approx(60.0)
 
+    def test_calibration_survives_state_dict_round_trip(self):
+        from repro.streaming.session import StreamResult
+
+        ttp = TransmissionTimePredictor(seed=0)
+        stream = StreamResult(0, "x", records=[
+            record(0, tx=20.0), record(1, tx=30.0),
+        ])
+        ttp.calibrate_tail([stream])
+        assert ttp.tail_center_s == pytest.approx(25.0)
+        clone = TransmissionTimePredictor(seed=99)
+        clone.load_state_dict(ttp.state_dict())
+        assert clone.tail_center_s == pytest.approx(25.0)
+        # The calibrated tail shows up in the planner-facing distribution.
+        dist = clone.distribution([], info(), np.array([5e5]))
+        assert dist.times[0, -1] == pytest.approx(25.0)
+
+    def test_calibration_survives_copy(self):
+        from repro.streaming.session import StreamResult
+
+        ttp = TransmissionTimePredictor(seed=0)
+        stream = StreamResult(0, "x", records=[record(0, tx=40.0)])
+        ttp.calibrate_tail([stream])
+        frozen = ttp.copy()
+        assert frozen.tail_center_s == pytest.approx(ttp.tail_center_s)
+        # ... and is a snapshot: later recalibration does not leak into it.
+        later = StreamResult(0, "x", records=[record(0, tx=12.0)])
+        ttp.calibrate_tail([later])
+        assert frozen.tail_center_s == pytest.approx(40.0)
+        assert ttp.tail_center_s == pytest.approx(12.0)
+
+    def test_uncalibrated_state_loads_with_default_tail(self):
+        # Saves predating the calibrated-tail field must still load.
+        ttp = TransmissionTimePredictor(seed=0)
+        state = ttp.state_dict()
+        del state["tail_center_s"]
+        clone = TransmissionTimePredictor(seed=1)
+        clone.load_state_dict(state)
+        assert clone.tail_center_s == pytest.approx(16.0)
+
+    def test_invalid_tail_center_rejected_on_load(self):
+        ttp = TransmissionTimePredictor(seed=0)
+        state = ttp.state_dict()
+        state["tail_center_s"] = -1.0
+        with pytest.raises(ValueError, match="tail_center_s"):
+            TransmissionTimePredictor(seed=0).load_state_dict(state)
+
     def test_calibrate_no_tail_samples_is_noop(self):
         from repro.streaming.session import StreamResult
 

@@ -99,6 +99,49 @@ class TestTransmit:
         assert fast.transmission_time < slow.transmission_time
 
 
+class TestAppLimited:
+    def test_small_chunk_does_not_deflate_delivery_rate(self):
+        # A tiny chunk fits in one app-limited round; its rate sample
+        # understates the path and must not lower the estimate the TTP's
+        # `delivery_rate` feature sees (Linux `app_limited` semantics).
+        conn = fresh_connection(rate=8e6)
+        t = 0.0
+        for _ in range(6):  # warm up on large chunks
+            t += conn.transmit(1_000_000, t).transmission_time
+        warm_rate = conn.tcp_info().delivery_rate
+        t += conn.transmit(5_000, t).transmission_time
+        assert conn.tcp_info().delivery_rate >= warm_rate
+
+    def test_app_limited_round_does_not_collapse_bbr_estimate(self):
+        # The windowed-max filter must not evict genuine samples for a
+        # partial final round: throughput stays stable across small sends.
+        conn = fresh_connection(rate=8e6)
+        t = 0.0
+        for _ in range(6):
+            t += conn.transmit(1_000_000, t).transmission_time
+        before = conn.cc.bandwidth_estimate_bps
+        for _ in range(12):  # many tiny app-limited sends back to back
+            t += conn.transmit(2_000, t).transmission_time
+        assert conn.cc.bandwidth_estimate_bps >= before * 0.99
+
+    def test_app_limited_rate_may_raise_estimate(self):
+        # An app-limited sample that *exceeds* the estimate is still used
+        # (first-ever sample on a fresh connection is app-limited when the
+        # chunk is smaller than the initial window).
+        conn = fresh_connection(rate=8e6)
+        conn.transmit(5_000, 0.0)
+        assert conn.tcp_info().delivery_rate > 0.0
+
+    def test_round_sample_default_not_app_limited(self):
+        from repro.net.cc.base import RoundSample
+
+        sample = RoundSample(
+            delivered_bytes=1e4, duration=0.05, rtt=0.05,
+            delivery_rate_bps=1e6, link_limited=False, loss=False,
+        )
+        assert sample.app_limited is False
+
+
 class TestTcpInfo:
     def test_snapshot_taken_at_send(self):
         conn = fresh_connection()
