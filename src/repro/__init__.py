@@ -30,6 +30,10 @@ Subpackages
     Bootstrap CIs, weighted standard errors, CCDFs, detectability analysis.
 ``repro.emulation``
     The mahimahi/FCC emulation environment of the Fig. 11 study.
+``repro.obs``
+    Zero-dependency observability: metrics registry (counters, gauges,
+    exactly-mergeable log-binned histograms), structured event tracing, and
+    ``@timed``/``span()`` profiling hooks — no-op-cheap when disabled.
 
 Quick start
 -----------
@@ -53,4 +57,5 @@ __all__ = [
     "experiment",
     "analysis",
     "emulation",
+    "obs",
 ]

@@ -10,6 +10,10 @@ Commands
     Train Fugu's TTP in situ and save it to a JSON file.
 ``detectability``
     Print the §3.4 statistical-power analysis.
+``obs collect``
+    Run an instrumented mini-trial and dump the merged metrics JSON.
+``obs summary``
+    Pretty-print a metrics dump (counters, histogram quantiles, events).
 """
 
 from __future__ import annotations
@@ -76,10 +80,18 @@ def _cmd_trial(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     trial = RandomizedTrial(
-        specs, TrialConfig(n_sessions=args.sessions, seed=args.seed)
+        specs,
+        TrialConfig(
+            n_sessions=args.sessions,
+            seed=args.seed,
+            observability=args.metrics_out is not None,
+        ),
     ).run(workers=args.workers)
     if trial.throughput is not None:
         print(trial.throughput.format(), file=sys.stderr)
+    if args.metrics_out is not None:
+        trial.dump_metrics(args.metrics_out)
+        print(f"wrote metrics dump to {trial.metrics_path}", file=sys.stderr)
     print(f"{'Scheme':<15}{'Stall %':>9}{'SSIM dB':>9}{'N':>6}")
     for name in trial.scheme_names:
         streams = trial.streams_for(name)
@@ -134,6 +146,52 @@ def _cmd_detectability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_collect_specs():
+    """Cheap classical schemes for the ``obs collect`` mini-trial."""
+    from repro.abr import BBA, MpcHm
+    from repro.experiment.schemes import SchemeSpec
+
+    return [
+        SchemeSpec(
+            name="bba", control="classical", predictor="n/a",
+            optimization_goal="+SSIM s.t. bitrate < limit",
+            how_trained="n/a", factory=BBA,
+        ),
+        SchemeSpec(
+            name="mpc_hm", control="classical", predictor="classical (HM)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=MpcHm,
+        ),
+    ]
+
+
+def _cmd_obs_collect(args: argparse.Namespace) -> int:
+    from repro.experiment import RandomizedTrial, TrialConfig
+    from repro.obs import format_summary
+
+    trial = RandomizedTrial(
+        _obs_collect_specs(),
+        TrialConfig(
+            n_sessions=args.sessions, seed=args.seed, observability=True
+        ),
+    ).run(workers=args.workers)
+    trial.dump_metrics(args.out, include_wallclock=not args.deterministic)
+    if trial.throughput is not None:
+        print(trial.throughput.format(), file=sys.stderr)
+    print(format_summary(trial.obs.to_dict()))
+    print(f"wrote metrics dump to {trial.metrics_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary
+
+    with open(args.file) as f:
+        dump = json.load(f)
+    print(format_summary(dump, max_events=args.events))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the session loop (results are "
         "bit-identical at any worker count)",
+    )
+    trial.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="collect observability metrics and dump the merged JSON here",
     )
     trial.set_defaults(func=_cmd_trial)
 
@@ -181,6 +243,33 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--trials", type=int, default=20)
     power.add_argument("--seed", type=int, default=0)
     power.set_defaults(func=_cmd_detectability)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: collect and inspect metrics dumps"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    collect = obs_sub.add_parser(
+        "collect", help="run an instrumented mini-trial and dump metrics"
+    )
+    collect.add_argument("--sessions", type=int, default=32)
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument("--workers", type=int, default=1)
+    collect.add_argument("--out", default="metrics.json")
+    collect.add_argument(
+        "--deterministic", action="store_true",
+        help="exclude wall-clock (profile.*) metrics from the dump — the "
+        "surface that is bit-identical at any worker count",
+    )
+    collect.set_defaults(func=_cmd_obs_collect)
+    summary = obs_sub.add_parser(
+        "summary", help="pretty-print a metrics dump"
+    )
+    summary.add_argument("file")
+    summary.add_argument(
+        "--events", type=int, default=5,
+        help="number of trailing trace events to show",
+    )
+    summary.set_defaults(func=_cmd_obs_summary)
     return parser
 
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.qoe import DEFAULT_QOE, QoeParams
 
 if TYPE_CHECKING:  # typing only; avoids a circular import with repro.abr
@@ -127,6 +128,18 @@ class ValueIterationController:
         steps = min(self.horizon, len(context.lookahead))
         if steps == 0:
             raise ValueError("lookahead must contain at least one menu")
+        if obs.ENABLED:
+            obs.counter_inc("controller.plans")
+            obs.counter_inc("controller.plan_steps", float(steps))
+        with obs.span("controller.plan"):
+            return self._plan(context, model, steps)
+
+    def _plan(
+        self,
+        context: "AbrContext",
+        model: TransmissionTimeModel,
+        steps: int,
+    ) -> int:
         menus = context.lookahead[:steps]
         n_bins = len(self._grid)
         grid = self._grid

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.controller import TimeDistribution
 
 if TYPE_CHECKING:  # typing only; avoids circular imports
@@ -185,8 +186,15 @@ class TransmissionTimePredictor:
         if not 0 <= step < self.config.horizon:
             raise ValueError(f"step must lie in [0, {self.config.horizon})")
         sizes_bytes = np.asarray(sizes_bytes, dtype=float)
-        features = self.masked_features(history, info, sizes_bytes)
-        probs = self.models[step].predict_proba(features)
+        if obs.ENABLED:
+            # Inference *counts* are deterministic (one per planner call per
+            # horizon step); the latency histogram is wall-clock and lands
+            # in the quarantined profile.* namespace.
+            obs.counter_inc("ttp.inferences")
+            obs.counter_inc("ttp.inference_rows", float(len(sizes_bytes)))
+        with obs.span("ttp.predict"):
+            features = self.masked_features(history, info, sizes_bytes)
+            probs = self.models[step].predict_proba(features)
         if self.config.predict_throughput:
             # times[a, j] = size_a / throughput_center_j
             times = sizes_bytes[:, None] * 8.0 / self._tput_centers[None, :]

@@ -19,6 +19,7 @@ the shards back bit-identically to the serial loop.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -26,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.abr.base import AbrAlgorithm
 from repro.experiment.consort import (
     ConsortFlow,
@@ -56,6 +58,11 @@ class TrialConfig:
     slow_decoder_prob: float = 0.0002
     loss_of_contact_prob: float = 0.01
     collect_telemetry: bool = False
+    observability: bool = False
+    """Collect per-session :class:`repro.obs.ObsContext` metrics/events and
+    merge them (deterministically, by session id) onto the trial result.
+    Instrumentation never perturbs the simulation — stream records are
+    bit-identical with this on or off."""
 
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
@@ -93,6 +100,9 @@ class WorkerTiming:
     busy_s: float
     """Seconds the worker spent simulating (excludes pool overhead)."""
 
+    chunks: int = 1
+    """Number of session chunks this worker executed (load-balance grain)."""
+
 
 @dataclass(frozen=True)
 class ThroughputReport:
@@ -107,6 +117,10 @@ class ThroughputReport:
     wall_s: float
     chunk_size: int
     per_worker: List[WorkerTiming] = field(default_factory=list)
+
+    merge_s: float = 0.0
+    """Seconds spent merging session shards back into the trial result
+    (serialization + fold; the non-parallelizable tail of Amdahl's law)."""
 
     @property
     def sessions_per_s(self) -> float:
@@ -123,12 +137,14 @@ class ThroughputReport:
             f"({self.n_streams} streams) in {self.wall_s:.2f}s "
             f"= {self.sessions_per_s:.1f} sessions/s, "
             f"{self.streams_per_s:.1f} streams/s "
-            f"[{self.mode}, workers={self.workers}, chunk={self.chunk_size}]"
+            f"[{self.mode}, workers={self.workers}, chunk={self.chunk_size}, "
+            f"merge {self.merge_s * 1e3:.0f}ms]"
         ]
         for w in self.per_worker:
             lines.append(
-                f"  worker {w.worker}: {w.sessions} sessions, "
-                f"{w.streams} streams, busy {w.busy_s:.2f}s"
+                f"  worker {w.worker}: {w.sessions} sessions "
+                f"({w.chunks} chunks), {w.streams} streams, "
+                f"busy {w.busy_s:.2f}s"
             )
         return "\n".join(lines)
 
@@ -145,6 +161,35 @@ class TrialResult:
     throughput: Optional[ThroughputReport] = None
     """Populated by :meth:`RandomizedTrial.run`; not part of the scientific
     result (excluded from serial/parallel equivalence comparisons)."""
+
+    obs: Optional["obs.ObsContext"] = None
+    """Merged observability context (``TrialConfig.observability=True``).
+    The deterministic part (``to_dict(include_wallclock=False)``) is
+    bit-identical between the serial loop and any worker count."""
+
+    metrics_path: Optional[str] = None
+    """Where :meth:`dump_metrics` last wrote the metrics JSON, if it did."""
+
+    def dump_metrics(
+        self, path: str, include_wallclock: bool = True
+    ) -> str:
+        """Write the merged observability dump as JSON and record the path.
+
+        The JSON layout (``schema_version``, ``metrics.counters/gauges/
+        histograms``, ``events``) is the stable contract dashboards and
+        regression tooling consume; see EXPERIMENTS.md.
+        """
+        if self.obs is None:
+            raise ValueError(
+                "no observability data collected "
+                "(run with TrialConfig(observability=True))"
+            )
+        data = self.obs.to_dict(include_wallclock=include_wallclock)
+        with open(path, "w") as f:
+            json.dump(data, f, sort_keys=True, indent=2)
+            f.write("\n")
+        self.metrics_path = path
+        return path
 
     def sessions_for(self, scheme: str) -> List[SessionResult]:
         return [s for s in self.sessions if s.scheme == scheme]
@@ -177,6 +222,8 @@ class SessionShard:
     session: SessionResult
     consort: ConsortFlow
     telemetry: Optional[TelemetryLog]
+    obs: Optional["obs.ObsContext"] = None
+    """Per-session metrics/events (``TrialConfig.observability=True``)."""
 
 
 def assign_expt_ids(specs: Sequence[SchemeSpec], seed: int) -> Dict[str, int]:
@@ -235,6 +282,12 @@ def run_session(
 
     consort = ConsortFlow()
     telemetry = TelemetryLog() if config.collect_telemetry else None
+    # Shard-local observability: a fresh context per session, activated for
+    # the duration of the simulation, shipped back on the shard, and merged
+    # by session id — which is what keeps the merged metrics bit-identical
+    # between the serial loop and the process pool.
+    obs_ctx = obs.ObsContext() if config.observability else None
+    wall_start = time.perf_counter()
 
     rng = np.random.default_rng((config.seed, session_id))
     spec = specs[int(rng.integers(len(specs)))]
@@ -260,58 +313,73 @@ def run_session(
     ):
         n_streams += 1
 
-    for stream_no in range(n_streams):
-        kind = config.viewer.sample_stream_kind(rng)
-        watch = config.viewer.sample_watch_time(kind, rng)
-        channel = config.channels[int(rng.integers(len(config.channels)))]
-        media_rng = np.random.default_rng(
-            media_seed(config.seed, session_id, stream_no)
-        )
-        source = VideoSource(channel, rng=media_rng)
-        encoder = VbrEncoder(rng=media_rng)
-        hook = (
-            config.viewer.make_extension_hook(rng)
-            if kind == "view"
-            else None
-        )
-        stream_id = session_id * config.max_streams_per_session + stream_no
-        result = simulate_stream(
-            encoder.stream(source),
-            algorithm,
-            connection,
-            watch_time_s=watch,
-            stream_id=stream_id,
-            expt_id=session.expt_id,
-            telemetry=telemetry,
-            extension_hook=hook,
-            start_time=clock,
-        )
-        result.scheme_name = spec.name
-        clock += result.total_time + float(rng.uniform(0.1, 2.0))
-        # A viewer may change channels while a chunk is still in
-        # flight; the connection must finish (or the kernel flush)
-        # before the next stream's first chunk goes out.
-        clock = max(clock, connection.busy_until + 1e-6)
-        session.streams.append(result)
+    with obs.activate(obs_ctx):
+        for stream_no in range(n_streams):
+            kind = config.viewer.sample_stream_kind(rng)
+            watch = config.viewer.sample_watch_time(kind, rng)
+            channel = config.channels[int(rng.integers(len(config.channels)))]
+            media_rng = np.random.default_rng(
+                media_seed(config.seed, session_id, stream_no)
+            )
+            source = VideoSource(channel, rng=media_rng)
+            encoder = VbrEncoder(rng=media_rng)
+            hook = (
+                config.viewer.make_extension_hook(rng)
+                if kind == "view"
+                else None
+            )
+            stream_id = session_id * config.max_streams_per_session + stream_no
+            result = simulate_stream(
+                encoder.stream(source),
+                algorithm,
+                connection,
+                watch_time_s=watch,
+                stream_id=stream_id,
+                expt_id=session.expt_id,
+                telemetry=telemetry,
+                extension_hook=hook,
+                start_time=clock,
+            )
+            result.scheme_name = spec.name
+            clock += result.total_time + float(rng.uniform(0.1, 2.0))
+            # A viewer may change channels while a chunk is still in
+            # flight; the connection must finish (or the kernel flush)
+            # before the next stream's first chunk goes out.
+            clock = max(clock, connection.busy_until + 1e-6)
+            session.streams.append(result)
 
-        arm.streams_assigned += 1
-        category = classify_stream(result)
-        if category == "considered" and rng.random() < config.slow_decoder_prob:
-            result.excluded = True
-            category = "slow_video_decoder"
-        if category == "did_not_begin":
-            arm.did_not_begin += 1
-        elif category == "watch_time_under_4s":
-            arm.watch_time_under_4s += 1
-        elif category == "slow_video_decoder":
-            arm.slow_video_decoder += 1
-        else:
-            arm.considered += 1
-            arm.considered_watch_time_s += result.watch_time
-            if rng.random() < config.loss_of_contact_prob:
-                arm.truncated_loss_of_contact += 1
+            arm.streams_assigned += 1
+            category = classify_stream(result)
+            if (
+                category == "considered"
+                and rng.random() < config.slow_decoder_prob
+            ):
+                result.excluded = True
+                category = "slow_video_decoder"
+            if category == "did_not_begin":
+                arm.did_not_begin += 1
+            elif category == "watch_time_under_4s":
+                arm.watch_time_under_4s += 1
+            elif category == "slow_video_decoder":
+                arm.slow_video_decoder += 1
+            else:
+                arm.considered += 1
+                arm.considered_watch_time_s += result.watch_time
+                if rng.random() < config.loss_of_contact_prob:
+                    arm.truncated_loss_of_contact += 1
 
-    return SessionShard(session=session, consort=consort, telemetry=telemetry)
+    if obs_ctx is not None:
+        obs_ctx.metrics.inc("trial.sessions")
+        obs_ctx.metrics.inc("trial.streams", float(n_streams))
+        obs_ctx.metrics.observe(
+            "profile.session_wall_s",
+            time.perf_counter() - wall_start,
+            spec=obs.TIME_SPEC,
+            wallclock=True,
+        )
+    return SessionShard(
+        session=session, consort=consort, telemetry=telemetry, obs=obs_ctx
+    )
 
 
 def merge_shards(
@@ -343,6 +411,15 @@ def merge_shards(
         if telemetry is not None and shard.telemetry is not None:
             telemetry.extend(shard.telemetry)
     consort.check()
+    # Observability shards fold in the same session-id order as everything
+    # else, so the merged registry/trace is bit-identical to the serial
+    # loop's (counters and histogram sums see the exact same sequence of
+    # additions on both paths).
+    merged_obs = obs.merge_contexts(
+        shard.obs for shard in ordered if shard.obs is not None
+    )
+    if merged_obs is not None:
+        merged_obs.metrics.inc("trial.shards_merged", float(len(ordered)))
     return TrialResult(
         sessions=sessions,
         consort=consort,
@@ -350,6 +427,7 @@ def merge_shards(
         expt_ids=dict(expt_ids),
         telemetry=telemetry,
         throughput=throughput,
+        obs=merged_obs,
     )
 
 
@@ -413,22 +491,32 @@ class RandomizedTrial:
         ]
         wall = time.perf_counter() - start
         n_streams = sum(len(shard.session.streams) for shard in shards)
-        report = ThroughputReport(
+        merge_start = time.perf_counter()
+        result = merge_shards(self.specs, config, self._expt_ids, shards)
+        merge_s = time.perf_counter() - merge_start
+        result.throughput = ThroughputReport(
             mode="serial",
             workers=1,
             n_sessions=config.n_sessions,
             n_streams=n_streams,
             wall_s=wall,
             chunk_size=config.n_sessions,
+            merge_s=merge_s,
             per_worker=[
                 WorkerTiming(
                     worker=os.getpid(),
                     sessions=config.n_sessions,
                     streams=n_streams,
                     busy_s=wall,
+                    chunks=1,
                 )
             ],
         )
-        return merge_shards(
-            self.specs, config, self._expt_ids, shards, throughput=report
-        )
+        if result.obs is not None:
+            result.obs.metrics.observe(
+                "profile.trial_merge_s",
+                merge_s,
+                spec=obs.TIME_SPEC,
+                wallclock=True,
+            )
+        return result

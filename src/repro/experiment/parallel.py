@@ -214,19 +214,30 @@ def run_trial_parallel(
                 for shard in r.shards
             ),
             busy_s=sum(r.busy_s for r in results),
+            chunks=len(results),
         )
         for worker, results in sorted(per_worker.items())
     ]
-    report = ThroughputReport(
+    merge_start = time.perf_counter()
+    trial = merge_shards(specs, config, expt_ids, shards)
+    merge_s = time.perf_counter() - merge_start
+    trial.throughput = ThroughputReport(
         mode=mode,
         workers=workers,
         n_sessions=config.n_sessions,
         n_streams=sum(t.streams for t in timings),
         wall_s=wall,
         chunk_size=effective_chunk,
+        merge_s=merge_s,
         per_worker=timings,
     )
-    return merge_shards(specs, config, expt_ids, shards, throughput=report)
+    if trial.obs is not None:
+        from repro import obs
+
+        trial.obs.metrics.observe(
+            "profile.trial_merge_s", merge_s, spec=obs.TIME_SPEC, wallclock=True
+        )
+    return trial
 
 
 # ---------------------------------------------------------------------------

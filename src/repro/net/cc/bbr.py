@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
+from repro import obs
 from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
 
 _BW_FILTER_ROUNDS = 10
@@ -57,6 +58,10 @@ class BbrLike(CongestionControl):
             sample.delivery_rate_bps > self.bandwidth_estimate_bps
         ):
             self._bw_samples.append(sample.delivery_rate_bps)
+            if obs.ENABLED:
+                obs.counter_inc("cc.bbr.bw_samples")
+        elif obs.ENABLED:
+            obs.counter_inc("cc.bbr.bw_samples_app_limited_skipped")
         self._min_rtt = min(self._min_rtt, sample.rtt)
         bw = self.bandwidth_estimate_bps
         if self._in_startup:
@@ -70,6 +75,8 @@ class BbrLike(CongestionControl):
                 self._stale_rounds += 1
                 if self._stale_rounds >= _FULL_PIPE_ROUNDS:
                     self._in_startup = False
+                    if obs.ENABLED:
+                        obs.counter_inc("cc.bbr.startup_exits")
             if not sample.app_limited:
                 # Congestion-window validation (RFC 7661): the window does
                 # not grow on rounds the application could not fill —
@@ -89,6 +96,8 @@ class BbrLike(CongestionControl):
         # re-enter startup and age out old bandwidth samples.
         rto = max(2.0 * rtt, 0.2)
         if idle_time >= 4.0 * rto:
+            if obs.ENABLED and not self._in_startup:
+                obs.counter_inc("cc.bbr.idle_restarts")
             self._in_startup = True
             self._full_pipe_baseline = self.bandwidth_estimate_bps * 0.5
             self._stale_rounds = 0

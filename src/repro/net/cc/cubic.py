@@ -8,6 +8,7 @@ multiplicative decrease by ``beta`` on loss events.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
 
 _CUBIC_C = 0.4
@@ -36,7 +37,10 @@ class CubicLike(CongestionControl):
     def _enter_recovery(self) -> None:
         self._w_max_segments = self.cwnd_segments
         self.cwnd_bytes *= _CUBIC_BETA
-        self.ssthresh_bytes = self.cwnd_bytes
+        # Linux floors ssthresh at two segments (tcp_recalc_ssthresh);
+        # without the floor, repeated losses drive ssthresh below the
+        # window clamp and the controller can never leave "slow start".
+        self.ssthresh_bytes = max(self.cwnd_bytes, 2.0 * self.mss)
         self._epoch_elapsed = 0.0
         self._k = (self._w_max_segments * (1.0 - _CUBIC_BETA) / _CUBIC_C) ** (
             1.0 / 3.0
@@ -44,8 +48,20 @@ class CubicLike(CongestionControl):
 
     def on_round(self, sample: RoundSample) -> None:
         if sample.loss:
+            if obs.ENABLED:
+                obs.counter_inc("cc.cubic.loss_events")
             self._enter_recovery()
             self._clamp()
+            return
+        if sample.app_limited:
+            # Congestion-window validation (RFC 7661), as Linux applies to
+            # CUBIC via tcp_cwnd_validate: a round whose send was capped by
+            # available application data — the short final round of a chunk
+            # — says nothing about the path, so it must not grow the window.
+            # Without this, streaming small chunks would double cwnd every
+            # app-limited slow-start round without ever filling the pipe.
+            if obs.ENABLED:
+                obs.counter_inc("cc.cubic.app_limited_skipped")
             return
         if self.in_slow_start:
             self.cwnd_bytes *= 2.0
@@ -54,6 +70,8 @@ class CubicLike(CongestionControl):
                 self._w_max_segments = self.cwnd_segments
                 self._epoch_elapsed = 0.0
                 self._k = 0.0
+                if obs.ENABLED:
+                    obs.counter_inc("cc.cubic.slow_start_exits")
         else:
             self._epoch_elapsed += sample.duration
             target_segments = (

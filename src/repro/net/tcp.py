@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.net.cc.base import CongestionControl, RoundSample, DEFAULT_MSS
 from repro.net.cc.bbr import BbrLike
 from repro.net.link import LinkModel
@@ -141,6 +142,9 @@ class TcpConnection:
         idle = at_time - self._last_activity_end
         if idle <= 0:
             return
+        if obs.ENABLED:
+            obs.counter_inc("tcp.idle_gaps")
+            obs.observe("tcp.idle_s", idle, spec=obs.TIME_SPEC)
         self.cc.on_idle(idle, self.srtt)
         # In-flight data drains within an RTT of going quiet.
         self._in_flight_bytes *= float(np.exp(-idle / max(self.srtt, 1e-3)))
@@ -207,6 +211,21 @@ class TcpConnection:
                 app_limited=app_limited,
             )
             self.cc.on_round(sample)
+            if obs.ENABLED:
+                # Per-round accounting: the counters Appendix B's tcp_info
+                # telemetry cannot expose (it snapshots state, not flux).
+                obs.counter_inc("tcp.rounds")
+                if app_limited:
+                    obs.counter_inc("tcp.rounds_app_limited")
+                if link_limited:
+                    obs.counter_inc("tcp.rounds_link_limited")
+                if loss:
+                    obs.counter_inc("tcp.loss_events")
+                obs.observe(
+                    "tcp.round_delivery_rate_bps",
+                    delivery_rate,
+                    spec=obs.RATE_SPEC,
+                )
             self.srtt = (1.0 - _SRTT_GAIN) * self.srtt + _SRTT_GAIN * rtt_sample
             self.min_rtt = min(self.min_rtt, rtt_sample)
             # Linux semantics: app-limited samples may only *raise* the
@@ -220,6 +239,13 @@ class TcpConnection:
 
         self._total_bytes_sent += size_bytes
         self._last_activity_end = at_time + elapsed
+        if obs.ENABLED:
+            obs.counter_inc("tcp.transmissions")
+            obs.counter_inc("tcp.bytes_sent", float(size_bytes))
+            obs.observe("tcp.transmission_s", elapsed, spec=obs.TIME_SPEC)
+            obs.observe(
+                "tcp.chunk_size_bytes", float(size_bytes), spec=obs.SIZE_SPEC
+            )
         return TransmissionResult(
             transmission_time=elapsed, info_at_send=info_at_send, rounds=rounds
         )

@@ -1,0 +1,252 @@
+"""repro.obs — zero-dependency observability for the simulator.
+
+Three pieces, all no-op-cheap when disabled:
+
+* :class:`MetricsRegistry` — process-local counters, gauges, and histograms
+  with **fixed log-spaced bins**, so shard registries merge exactly
+  (:mod:`repro.obs.registry`);
+* :class:`EventTracer` — typed, simulation-timestamped events in bounded
+  ring buffers (:mod:`repro.obs.tracing`);
+* ``@timed`` / ``span()`` — wall-clock profiling hooks whose output is
+  tagged nondeterministic and quarantined from the bit-identical dump.
+
+Instrumented modules use the module-level helpers behind a single guard::
+
+    from repro import obs
+    ...
+    if obs.ENABLED:
+        obs.counter_inc("tcp.rounds")
+
+``obs.ENABLED`` is a plain module attribute: when observability is off (the
+default) an instrumented hot path pays one attribute load and one branch —
+nothing else.  The guard is maintained by :func:`enable` / :func:`disable` /
+:func:`activate`, which also manage the *active context* the helpers write
+into.
+
+Scoping model
+-------------
+There is one active :class:`ObsContext` per process at a time.  The trial
+harness activates a fresh context around every session
+(:func:`repro.experiment.harness.run_session`), ships it back on the
+session's shard, and merges shards in session-id order — which is what makes
+the merged metrics bit-identical between the serial loop and the process
+pool.  Outside a trial, :func:`enable` installs a process-global context
+(also what ``REPRO_OBS=1`` does at import time) so ad-hoc simulations can be
+inspected.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from functools import wraps
+from typing import Iterator, Optional
+
+from repro.obs.context import (
+    ObsContext,
+    SCHEMA_VERSION,
+    format_summary,
+    merge_contexts,
+)
+from repro.obs.registry import (
+    RATE_SPEC,
+    SIZE_SPEC,
+    TIME_SPEC,
+    Histogram,
+    HistogramSpec,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    DEFAULT_CAPACITY,
+    MERGED_CAPACITY,
+    EventTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "ENABLED",
+    "ObsContext",
+    "MetricsRegistry",
+    "HistogramSpec",
+    "Histogram",
+    "EventTracer",
+    "TraceEvent",
+    "TIME_SPEC",
+    "SIZE_SPEC",
+    "RATE_SPEC",
+    "SCHEMA_VERSION",
+    "enable",
+    "disable",
+    "active",
+    "activate",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "emit",
+    "span",
+    "timed",
+    "merge_contexts",
+    "format_summary",
+]
+
+ENABLED: bool = False
+"""Fast-path guard.  Instrumented code checks this before doing anything;
+managed by :func:`enable`, :func:`disable`, and :func:`activate`."""
+
+_ACTIVE: Optional[ObsContext] = None
+
+
+def enable(context: Optional[ObsContext] = None) -> ObsContext:
+    """Install ``context`` (or a fresh one) as the process-global active
+    context and turn instrumentation on.  Returns the active context."""
+    global ENABLED, _ACTIVE
+    _ACTIVE = context if context is not None else ObsContext()
+    ENABLED = True
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn instrumentation off and drop the active context."""
+    global ENABLED, _ACTIVE
+    ENABLED = False
+    _ACTIVE = None
+
+
+def active() -> Optional[ObsContext]:
+    """The context instrumentation currently writes into (``None`` = off)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(context: Optional[ObsContext]) -> Iterator[Optional[ObsContext]]:
+    """Scope ``context`` as the active one, restoring the previous state on
+    exit.  ``activate(None)`` is a true no-op — whatever was active (a
+    process-global context, or nothing) stays in effect — so callers can
+    write ``with obs.activate(ctx_or_none):`` unconditionally."""
+    global ENABLED, _ACTIVE
+    if context is None:
+        yield _ACTIVE
+        return
+    prev_enabled, prev_active = ENABLED, _ACTIVE
+    ENABLED, _ACTIVE = True, context
+    try:
+        yield context
+    finally:
+        ENABLED, _ACTIVE = prev_enabled, prev_active
+
+
+# ---------------------------------------------------------------------------
+# Recording helpers — the surface instrumented modules call.  Each bails
+# immediately when no context is active, so even an unguarded call is cheap;
+# hot loops should still guard with ``if obs.ENABLED`` to skip argument
+# construction entirely.
+# ---------------------------------------------------------------------------
+def counter_inc(name: str, amount: float = 1.0) -> None:
+    ctx = _ACTIVE
+    if ctx is not None:
+        ctx.metrics.inc(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    ctx = _ACTIVE
+    if ctx is not None:
+        ctx.metrics.set_gauge(name, value)
+
+
+def observe(
+    name: str,
+    value: float,
+    spec: Optional[HistogramSpec] = None,
+    wallclock: bool = False,
+) -> None:
+    ctx = _ACTIVE
+    if ctx is not None:
+        ctx.metrics.observe(name, value, spec=spec, wallclock=wallclock)
+
+
+def emit(kind: str, time: float, **fields) -> None:
+    """Emit a trace event at *simulated* time ``time``."""
+    ctx = _ACTIVE
+    if ctx is not None:
+        ctx.tracer.emit(kind, time, **fields)
+
+
+# ---------------------------------------------------------------------------
+# Profiling hooks.  Wall-clock by nature, so everything they record lands in
+# ``profile.*`` histograms tagged ``wallclock`` (excluded from deterministic
+# dumps).
+# ---------------------------------------------------------------------------
+class _NullSpan:
+    """Shared do-nothing span returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_name", "_ctx", "_start")
+
+    def __init__(self, name: str, ctx: ObsContext) -> None:
+        self._name = name
+        self._ctx = ctx
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._ctx.metrics.observe(
+            f"profile.{self._name}_s", elapsed, spec=TIME_SPEC, wallclock=True
+        )
+
+
+def span(name: str):
+    """Context manager timing a block into the wall-clock histogram
+    ``profile.<name>_s``.  Returns a shared null object when observability is
+    disabled, so ``with obs.span("x"):`` costs one call + one branch."""
+    ctx = _ACTIVE
+    if not ENABLED or ctx is None:
+        return _NULL_SPAN
+    return _Span(name, ctx)
+
+
+def timed(name: str):
+    """Decorator form of :func:`span` — times every call of the wrapped
+    function into ``profile.<name>_s`` when observability is enabled."""
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            ctx = _ACTIVE
+            if not ENABLED or ctx is None:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                ctx.metrics.observe(
+                    f"profile.{name}_s",
+                    time.perf_counter() - start,
+                    spec=TIME_SPEC,
+                    wallclock=True,
+                )
+
+        return wrapper
+
+    return decorate
+
+
+# ``REPRO_OBS=1`` turns observability on for the whole process (CI runs the
+# tier-1 suite both ways to prove the instrumentation is behavior-neutral).
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):  # pragma: no cover
+    enable()

@@ -1,0 +1,124 @@
+"""The per-shard observability bundle: one registry + one tracer.
+
+A trial hands every session its own :class:`ObsContext`; the engine merges
+them back in session-id order, so the merged context is bit-identical
+between the serial loop and any worker count (for the deterministic part of
+the dump — wall-clock metrics are tagged and excluded, see
+:mod:`repro.obs.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import DEFAULT_CAPACITY, MERGED_CAPACITY, EventTracer
+
+SCHEMA_VERSION = 1
+"""Version of the metrics-dump JSON layout.  Bump on breaking changes; the
+dump is the contract dashboards and regression tooling build on."""
+
+
+class ObsContext:
+    """Metrics + events for one scope (a session, or a whole merged trial)."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, event_capacity: int = DEFAULT_CAPACITY) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = EventTracer(capacity=event_capacity)
+
+    def merge(self, other: "ObsContext") -> None:
+        self.metrics.merge(other.metrics)
+        self.tracer.merge(other.tracer)
+
+    def to_dict(self, include_wallclock: bool = True) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": self.metrics.to_dict(include_wallclock=include_wallclock),
+            "events": self.tracer.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObsContext":
+        ctx = cls.__new__(cls)
+        ctx.metrics = MetricsRegistry.from_dict(data.get("metrics", {}))
+        events = data.get("events")
+        ctx.tracer = (
+            EventTracer.from_dict(events) if events else EventTracer()
+        )
+        return ctx
+
+
+def merge_contexts(
+    contexts: Iterable[ObsContext],
+    event_capacity: int = MERGED_CAPACITY,
+) -> Optional[ObsContext]:
+    """Fold shard contexts (already ordered by session id) into one.
+
+    Returns ``None`` for an empty iterable so callers can propagate "no
+    observability was collected" unchanged.
+    """
+    merged: Optional[ObsContext] = None
+    for ctx in contexts:
+        if merged is None:
+            merged = ObsContext(event_capacity=event_capacity)
+        merged.merge(ctx)
+    return merged
+
+
+def format_summary(dump: dict, max_events: int = 5) -> str:
+    """Human-readable view of a metrics dump (the ``repro obs summary`` CLI).
+
+    Accepts the dict produced by :meth:`ObsContext.to_dict` (or a registry
+    dump alone) and renders counters, gauges, histogram quantiles, and the
+    tail of the event trace.
+    """
+    from repro.obs.registry import Histogram
+
+    metrics = dump.get("metrics", dump)
+    lines = []
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:<{width}}  {shown}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms (count / mean / p50 / p95):")
+        width = max(len(k) for k in histograms)
+        for name in sorted(histograms):
+            hist = Histogram.from_dict(histograms[name])
+            lines.append(
+                f"  {name:<{width}}  n={hist.count}  mean={hist.mean:.4g}  "
+                f"p50={hist.quantile(0.5):.4g}  p95={hist.quantile(0.95):.4g}"
+            )
+    events = dump.get("events")
+    if events is not None:
+        records = events.get("records", [])
+        lines.append(
+            f"events: {len(records)} recorded, {events.get('dropped', 0)} "
+            f"dropped (ring capacity {events.get('capacity', '?')})"
+        )
+        for record in records[-max_events:]:
+            extra = ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(record.items())
+                if k not in ("kind", "time")
+            )
+            lines.append(
+                f"  t={record['time']:.3f}  {record['kind']}"
+                + (f"  [{extra}]" if extra else "")
+            )
+    if not lines:
+        lines.append("(empty dump)")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Structured event tracing with bounded ring buffers.
+
+A :class:`TraceEvent` is a typed, timestamped simulation event — *simulated*
+time, not wall-clock, so traces are deterministic and the serial and
+parallel trial engines produce bit-identical merged traces.  The buffer is a
+ring: a runaway stream cannot grow a shard's memory without bound, and the
+number of dropped events is accounted instead of silently lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple, Union
+
+FieldValue = Union[int, float, str, bool]
+
+DEFAULT_CAPACITY = 4096
+"""Per-session ring capacity (a session emits tens of events, not thousands;
+the bound is a memory safety net, not an expected ceiling)."""
+
+MERGED_CAPACITY = 262_144
+"""Ring capacity of a merged (whole-trial) tracer."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulation event.
+
+    ``fields`` is a tuple of ``(key, value)`` pairs sorted by key — a
+    canonical, hashable, order-deterministic representation (dict iteration
+    order would depend on call-site kwargs order).
+    """
+
+    kind: str
+    time: float
+    fields: Tuple[Tuple[str, FieldValue], ...] = ()
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind, "time": self.time}
+        data.update(self.fields)
+        return data
+
+    @classmethod
+    def make(cls, kind: str, time: float, **fields: FieldValue) -> "TraceEvent":
+        return cls(
+            kind=kind, time=float(time), fields=tuple(sorted(fields.items()))
+        )
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    __slots__ = ("capacity", "dropped", "_events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, time: float, **fields: FieldValue) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent.make(kind, time, **fields))
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def merge(self, other: "EventTracer") -> None:
+        """Append ``other``'s events (callers merge shards in session-id
+        order, which is what makes the merged trace deterministic)."""
+        for event in other._events:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+        self.dropped += other.dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "records": [event.to_dict() for event in self._events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventTracer":
+        tracer = cls(capacity=int(data["capacity"]))
+        tracer.dropped = int(data["dropped"])
+        for record in data["records"]:
+            payload = {
+                k: v for k, v in record.items() if k not in ("kind", "time")
+            }
+            tracer.emit(record["kind"], record["time"], **payload)
+        return tracer

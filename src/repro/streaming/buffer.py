@@ -7,6 +7,8 @@ the cap is reached the server pauses until there is room for another chunk.
 
 from __future__ import annotations
 
+from repro import obs
+
 MAX_BUFFER_S = 15.0
 """Puffer's client buffer cap in seconds of video."""
 
@@ -45,6 +47,9 @@ class PlaybackBuffer:
             return 0.0
         shortfall = play_time_s - self.level_s
         self.level_s = 0.0
+        if shortfall > 0 and obs.ENABLED:
+            obs.counter_inc("buffer.underruns")
+            obs.observe("buffer.underrun_s", shortfall, spec=obs.TIME_SPEC)
         return shortfall
 
     def room_for(self, duration_s: float) -> bool:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Iterable, Iterator, Optional
 
+from repro import obs
 from repro.abr.base import AbrAlgorithm, AbrContext, ChunkRecord
 from repro.media.chunk import ChunkMenu
 from repro.media.ssim import ssim_db_to_index
@@ -176,6 +177,9 @@ def simulate_stream(
             buffer.drain(wait)
             result.play_time += wait
             t += wait
+            if obs.ENABLED:
+                obs.counter_inc("stream.server_pauses")
+                obs.observe("stream.pause_s", wait, spec=obs.TIME_SPEC)
             emit_timer_reports()
             continue  # re-evaluate the leave condition before choosing
 
@@ -196,6 +200,14 @@ def simulate_stream(
         version = menu[rung]
         send_at = start_time + t
         tx = connection.transmit(version.size_bytes, send_at)
+        if obs.ENABLED:
+            # Chunk timing: the distribution the TTP is trained to predict.
+            obs.counter_inc("stream.chunks_sent")
+            obs.observe(
+                "stream.chunk_transmission_s",
+                tx.transmission_time,
+                spec=obs.TIME_SPEC,
+            )
         if telemetry is not None:
             telemetry.video_sent.append(
                 VideoSentRecord.from_send(
@@ -228,6 +240,17 @@ def simulate_stream(
             result.play_time += play
             if stall > 0:
                 result.stall_time += stall
+                if obs.ENABLED:
+                    # A rebuffer span: starts when the buffer ran dry during
+                    # this transmission, ends with the chunk's arrival.
+                    obs.counter_inc("stream.rebuffers")
+                    obs.observe("stream.rebuffer_s", stall, spec=obs.TIME_SPEC)
+                    obs.emit(
+                        "rebuffer",
+                        time=start_time + t + tx.transmission_time,
+                        stream_id=stream_id,
+                        duration=stall,
+                    )
                 log_buffer(BufferEvent.REBUFFER)
         t += tx.transmission_time
         emit_timer_reports()
@@ -241,6 +264,15 @@ def simulate_stream(
         if not playing:
             playing = True
             result.startup_delay = t
+            if obs.ENABLED:
+                obs.counter_inc("stream.startups")
+                obs.observe("stream.startup_delay_s", t, spec=obs.TIME_SPEC)
+                obs.emit(
+                    "startup",
+                    time=start_time + t,
+                    stream_id=stream_id,
+                    delay=t,
+                )
             log_buffer(BufferEvent.STARTUP)
         record = ChunkRecord(
             chunk_index=menu.chunk_index,
@@ -275,4 +307,18 @@ def simulate_stream(
 
     result.total_time = t
     result.never_began = not playing
+    if obs.ENABLED:
+        obs.counter_inc("stream.streams")
+        obs.counter_inc("stream.play_time_s", result.play_time)
+        obs.counter_inc("stream.stall_time_s", result.stall_time)
+        if result.never_began:
+            obs.counter_inc("stream.never_began")
+        obs.emit(
+            "stream_end",
+            time=start_time + t,
+            stream_id=stream_id,
+            play=result.play_time,
+            stall=result.stall_time,
+            chunks=len(result.records),
+        )
     return result

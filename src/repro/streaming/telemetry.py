@@ -12,7 +12,7 @@ and (hypothetically) real data:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from enum import Enum
 from typing import List
 
@@ -26,6 +26,29 @@ class BufferEvent(str, Enum):
     STARTUP = "startup"
     PLAY = "play"
     REBUFFER = "rebuffer"
+
+
+def _coerced(cls, data: dict):
+    """Build a record from a parsed-JSON dict, coercing every field back to
+    its declared type (``int`` columns arrive as ints, ``float`` columns may
+    arrive as ints from JSON, ``event`` arrives as a plain string).
+
+    This is what makes the ``to_dict -> json -> from_dict`` round trip
+    *exact*: the reconstructed record equals the original field-for-field,
+    including types — so downstream code (``.event.value``, integer stream
+    ids used as dict keys) behaves identically on parsed data.
+    """
+    kwargs = {}
+    for f in fields(cls):
+        value = data[f.name]
+        if f.type in ("float", float):
+            value = float(value)
+        elif f.type in ("int", int):
+            value = int(value)
+        elif f.type in ("BufferEvent", BufferEvent):
+            value = BufferEvent(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -55,22 +78,29 @@ class VideoSentRecord:
         ssim_index: float,
         info: TcpInfo,
     ) -> "VideoSentRecord":
+        # Builtin coercion at the source: numpy scalars sneaking in from the
+        # simulator would serialize (np.float64 subclasses float) but break
+        # round-trip *type* equality and, for np integers, json.dumps itself.
         return cls(
-            time=time,
-            stream_id=stream_id,
-            expt_id=expt_id,
-            chunk_index=chunk_index,
-            size=size,
-            ssim_index=ssim_index,
-            cwnd=info.cwnd,
-            in_flight=info.in_flight,
-            min_rtt=info.min_rtt,
-            rtt=info.rtt,
-            delivery_rate=info.delivery_rate,
+            time=float(time),
+            stream_id=int(stream_id),
+            expt_id=int(expt_id),
+            chunk_index=int(chunk_index),
+            size=float(size),
+            ssim_index=float(ssim_index),
+            cwnd=float(info.cwnd),
+            in_flight=float(info.in_flight),
+            min_rtt=float(info.min_rtt),
+            rtt=float(info.rtt),
+            delivery_rate=float(info.delivery_rate),
         )
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VideoSentRecord":
+        return _coerced(cls, data)
 
 
 @dataclass(frozen=True)
@@ -86,6 +116,10 @@ class VideoAckedRecord:
     def to_dict(self) -> dict:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "VideoAckedRecord":
+        return _coerced(cls, data)
+
 
 @dataclass(frozen=True)
 class ClientBufferRecord:
@@ -98,10 +132,22 @@ class ClientBufferRecord:
     buffer: float
     cum_rebuf: float
 
+    def __post_init__(self) -> None:
+        # A record built from parsed JSON carries a plain string event; a
+        # string-typed ``event`` compared equal (str Enum) but broke
+        # ``to_dict`` (``str`` has no ``.value``).  Coerce on construction so
+        # round-tripped records are exactly equivalent to originals.
+        if not isinstance(self.event, BufferEvent):
+            object.__setattr__(self, "event", BufferEvent(self.event))
+
     def to_dict(self) -> dict:
         data = asdict(self)
         data["event"] = self.event.value
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClientBufferRecord":
+        return _coerced(cls, data)
 
 
 @dataclass
@@ -128,3 +174,36 @@ class TelemetryLog:
             + len(self.video_acked)
             + len(self.client_buffer)
         )
+
+    def to_dict(self) -> dict:
+        """The three tables as JSON-ready lists of row dicts."""
+        return {
+            "video_sent": [r.to_dict() for r in self.video_sent],
+            "video_acked": [r.to_dict() for r in self.video_acked],
+            "client_buffer": [r.to_dict() for r in self.client_buffer],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryLog":
+        log = cls()
+        log.video_sent = [
+            VideoSentRecord.from_dict(r) for r in data["video_sent"]
+        ]
+        log.video_acked = [
+            VideoAckedRecord.from_dict(r) for r in data["video_acked"]
+        ]
+        log.client_buffer = [
+            ClientBufferRecord.from_dict(r) for r in data["client_buffer"]
+        ]
+        return log
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetryLog":
+        import json
+
+        return cls.from_dict(json.loads(text))

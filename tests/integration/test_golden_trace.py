@@ -1,0 +1,136 @@
+"""Golden-trace regression test.
+
+Pins a SHA-256 digest of the open-data telemetry (``video_sent``,
+``video_acked``, ``client_buffer``) produced by a tiny canonical trial:
+**4 sessions, seed 0, the classical scheme registry**.  Any change to the
+simulator, the TCP model, the ABR schemes, or the trial harness that alters
+a single field of a single record changes a digest and fails here —
+the point is to make behavioral drift *loud* and reviewable instead of
+silent.
+
+Re-blessing
+-----------
+If a change is *intended* to alter simulation behavior (a modeling fix, a
+new default), regenerate the fixture and commit it alongside the change::
+
+    REPRO_REBLESS_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_trace.py -q
+
+then mention the re-bless (and why) in the commit message.  The fixture
+records row counts next to the digests so a diff shows the blast radius.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.abr.bba import BBA
+from repro.abr.mpc import MpcHm
+from repro.experiment.harness import RandomizedTrial, TrialConfig
+from repro.experiment.schemes import SchemeSpec
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trace.json"
+REBLESS_ENV = "REPRO_REBLESS_GOLDEN"
+
+N_SESSIONS = 4
+SEED = 0
+
+
+def golden_specs():
+    return [
+        SchemeSpec(
+            name="bba", control="classical", predictor="n/a",
+            optimization_goal="+SSIM s.t. bitrate < limit",
+            how_trained="n/a", factory=BBA,
+        ),
+        SchemeSpec(
+            name="mpc_hm", control="classical", predictor="classical (HM)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=MpcHm,
+        ),
+    ]
+
+
+def golden_config(observability: bool = False) -> TrialConfig:
+    return TrialConfig(
+        n_sessions=N_SESSIONS,
+        seed=SEED,
+        collect_telemetry=True,
+        observability=observability,
+    )
+
+
+def run_and_digest(observability: bool = False) -> dict:
+    trial = RandomizedTrial(golden_specs(), golden_config(observability)).run()
+    telemetry = trial.telemetry
+    assert telemetry is not None
+    digests = {}
+    for table in ("video_sent", "video_acked", "client_buffer"):
+        rows = [
+            json.dumps(record.to_dict(), sort_keys=True)
+            for record in getattr(telemetry, table)
+        ]
+        digests[table] = {
+            "rows": len(rows),
+            "sha256": hashlib.sha256("\n".join(rows).encode()).hexdigest(),
+        }
+    return digests
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+class TestGoldenTrace:
+    def test_telemetry_matches_golden_digests(self):
+        digests = run_and_digest()
+        if os.environ.get(REBLESS_ENV):
+            blessed = {
+                "_comment": (
+                    "Golden open-data digests for 4 sessions, seed 0, "
+                    "classical schemes. Re-bless intentionally with "
+                    f"{REBLESS_ENV}=1 (see test_golden_trace.py docstring)."
+                ),
+                "n_sessions": N_SESSIONS,
+                "seed": SEED,
+                "tables": digests,
+            }
+            GOLDEN_PATH.write_text(json.dumps(blessed, indent=2) + "\n")
+            pytest.skip(f"re-blessed golden fixture at {GOLDEN_PATH}")
+        golden = load_golden()
+        assert golden["n_sessions"] == N_SESSIONS
+        assert golden["seed"] == SEED
+        for table, expected in golden["tables"].items():
+            got = digests[table]
+            assert got["rows"] == expected["rows"], (
+                f"{table}: row count drifted "
+                f"({got['rows']} != {expected['rows']}); if intended, "
+                f"re-bless with {REBLESS_ENV}=1"
+            )
+            assert got["sha256"] == expected["sha256"], (
+                f"{table}: telemetry digest drifted; if the behavior change "
+                f"is intended, re-bless with {REBLESS_ENV}=1"
+            )
+
+    def test_observability_does_not_perturb_the_trace(self):
+        # The instrumentation contract: enabling metrics/tracing must not
+        # change a single simulated byte.
+        assert run_and_digest(observability=True) == run_and_digest(
+            observability=False
+        )
+
+    def test_rows_roundtrip_through_json(self):
+        # The golden digest hashes to_dict() rows; make sure those rows
+        # parse back into the exact records (ties the golden fixture to the
+        # serialization contract tested in tests/streaming/test_telemetry).
+        trial = RandomizedTrial(golden_specs(), golden_config()).run()
+        telemetry = trial.telemetry
+        for record in telemetry.client_buffer[:50]:
+            parsed = type(record).from_dict(
+                json.loads(json.dumps(record.to_dict()))
+            )
+            assert parsed == record

@@ -1,0 +1,159 @@
+"""Tests for the obs enable/activate scoping model and profiling hooks."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Tests here mutate process-global obs state; always restore it."""
+    prev_enabled, prev_active = obs.ENABLED, obs.active()
+    yield
+    obs.ENABLED = prev_enabled
+    obs._ACTIVE = prev_active
+
+
+class TestScoping:
+    def test_disabled_by_default_helpers_are_noops(self):
+        obs.disable()
+        assert obs.ENABLED is False
+        assert obs.active() is None
+        # None of these should raise or allocate a context.
+        obs.counter_inc("x")
+        obs.gauge_set("g", 1.0)
+        obs.observe("h", 1.0)
+        obs.emit("e", 0.0)
+        assert obs.active() is None
+
+    def test_enable_disable(self):
+        ctx = obs.enable()
+        assert obs.ENABLED is True
+        assert obs.active() is ctx
+        obs.counter_inc("x", 2)
+        assert ctx.metrics.counters["x"] == 2.0
+        obs.disable()
+        assert obs.ENABLED is False
+        assert obs.active() is None
+
+    def test_activate_scopes_and_restores(self):
+        obs.disable()
+        ctx = obs.ObsContext()
+        with obs.activate(ctx) as active:
+            assert active is ctx
+            assert obs.ENABLED is True
+            obs.counter_inc("inside")
+        assert obs.ENABLED is False
+        assert obs.active() is None
+        assert ctx.metrics.counters["inside"] == 1.0
+
+    def test_activate_none_is_transparent(self):
+        outer = obs.enable()
+        with obs.activate(None) as active:
+            assert active is outer
+            obs.counter_inc("still_outer")
+        assert obs.active() is outer
+        assert outer.metrics.counters["still_outer"] == 1.0
+
+    def test_activate_restores_on_exception(self):
+        obs.disable()
+        with pytest.raises(RuntimeError):
+            with obs.activate(obs.ObsContext()):
+                raise RuntimeError("boom")
+        assert obs.ENABLED is False
+        assert obs.active() is None
+
+    def test_nested_activate(self):
+        a, b = obs.ObsContext(), obs.ObsContext()
+        with obs.activate(a):
+            with obs.activate(b):
+                obs.counter_inc("inner")
+            obs.counter_inc("outer")
+        assert b.metrics.counters == {"inner": 1.0}
+        assert a.metrics.counters == {"outer": 1.0}
+
+
+class TestSpan:
+    def test_span_disabled_returns_shared_null(self):
+        obs.disable()
+        s1 = obs.span("x")
+        s2 = obs.span("y")
+        assert s1 is s2  # singleton: zero allocation on the disabled path
+        with s1:
+            pass  # no-op
+
+    def test_span_records_wallclock_histogram(self):
+        ctx = obs.enable()
+        with obs.span("work"):
+            pass
+        hist = ctx.metrics.histograms["profile.work_s"]
+        assert hist.count == 1
+        assert hist.spec == obs.TIME_SPEC
+        assert "profile.work_s" not in (
+            ctx.metrics.to_dict(include_wallclock=False)["histograms"]
+        )
+
+    def test_timed_decorator(self):
+        @obs.timed("fn")
+        def double(x):
+            return 2 * x
+
+        obs.disable()
+        assert double(3) == 6  # works (and is a no-op) when disabled
+
+        ctx = obs.enable()
+        assert double(4) == 8
+        assert ctx.metrics.histograms["profile.fn_s"].count == 1
+
+    def test_timed_records_on_exception(self):
+        @obs.timed("fails")
+        def boom():
+            raise ValueError("x")
+
+        ctx = obs.enable()
+        with pytest.raises(ValueError):
+            boom()
+        assert ctx.metrics.histograms["profile.fails_s"].count == 1
+
+
+class TestContext:
+    def test_merge_contexts_empty_is_none(self):
+        assert obs.merge_contexts([]) is None
+
+    def test_merge_contexts_folds_in_order(self):
+        a, b = obs.ObsContext(), obs.ObsContext()
+        a.metrics.inc("c", 1)
+        a.tracer.emit("e", 0.0, session=0)
+        b.metrics.inc("c", 2)
+        b.tracer.emit("e", 1.0, session=1)
+        merged = obs.merge_contexts([a, b])
+        assert merged.metrics.counters["c"] == 3.0
+        assert [e.time for e in merged.tracer.events()] == [0.0, 1.0]
+        # Merged tracer uses the big whole-trial ring.
+        assert merged.tracer.capacity == obs.MERGED_CAPACITY
+
+    def test_context_dict_roundtrip(self):
+        ctx = obs.ObsContext()
+        ctx.metrics.inc("c", 4)
+        ctx.metrics.observe("h", 0.5, spec=obs.TIME_SPEC)
+        ctx.tracer.emit("e", 2.0, stream_id=1)
+        dump = ctx.to_dict()
+        assert dump["schema_version"] == obs.SCHEMA_VERSION
+        back = obs.ObsContext.from_dict(dump)
+        assert back.to_dict() == dump
+
+    def test_format_summary_renders_sections(self):
+        ctx = obs.ObsContext()
+        ctx.metrics.inc("tcp.rounds", 10)
+        ctx.metrics.set_gauge("g", 1.5)
+        ctx.metrics.observe("stream.rebuffer_s", 0.5, spec=obs.TIME_SPEC)
+        ctx.tracer.emit("rebuffer", 3.0, stream_id=2, duration=0.5)
+        text = obs.format_summary(ctx.to_dict())
+        assert "counters:" in text
+        assert "tcp.rounds" in text
+        assert "histograms" in text
+        assert "events: 1 recorded" in text
+        assert "rebuffer" in text
+
+    def test_format_summary_empty(self):
+        assert obs.format_summary({}) == "(empty dump)"

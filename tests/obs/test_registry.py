@@ -1,0 +1,239 @@
+"""Tests for repro.obs.registry — counters, gauges, log-binned histograms."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.registry import (
+    RATE_SPEC,
+    SIZE_SPEC,
+    TIME_SPEC,
+    Histogram,
+    HistogramSpec,
+    MetricsRegistry,
+)
+
+
+class TestHistogramSpec:
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            HistogramSpec(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            HistogramSpec(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            HistogramSpec(n_bins=0)
+
+    def test_bin_index_boundaries(self):
+        spec = HistogramSpec(lo=1.0, hi=1000.0, n_bins=3)
+        assert spec.bin_index(0.5) == -1  # underflow
+        assert spec.bin_index(1.0) == 0
+        assert spec.bin_index(999.999) == 2
+        assert spec.bin_index(1000.0) == 3  # overflow
+        assert spec.bin_index(1e9) == 3
+
+    def test_edges_are_log_spaced(self):
+        spec = HistogramSpec(lo=1.0, hi=100.0, n_bins=2)
+        edges = spec.edges()
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[1] == pytest.approx(10.0)
+        assert edges[2] == pytest.approx(100.0)
+
+    def test_edges_are_pure_function_of_spec(self):
+        # The merge-exactness precondition: edges derive from the spec only.
+        assert HistogramSpec(1e-3, 1e3, 60).edges() == TIME_SPEC.edges()
+
+    def test_roundtrip(self):
+        spec = HistogramSpec(lo=0.5, hi=8.0, n_bins=7)
+        assert HistogramSpec.from_dict(spec.to_dict()) == spec
+
+    @given(st.floats(min_value=1e-6, max_value=1e6 - 1,
+                     allow_nan=False, allow_infinity=False))
+    def test_bin_index_in_range_and_consistent_with_edges(self, value):
+        spec = HistogramSpec()
+        idx = spec.bin_index(value)
+        assert 0 <= idx < spec.n_bins
+        edges = spec.edges()
+        # Tolerate float rounding exactly at an edge.
+        assert edges[idx] <= value * (1 + 1e-12)
+        assert value <= edges[idx + 1] * (1 + 1e-12)
+
+
+class TestHistogram:
+    def test_observe_accounting(self):
+        hist = Histogram(HistogramSpec(lo=1.0, hi=100.0, n_bins=2))
+        for v in (0.5, 2.0, 50.0, 200.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.counts == [1, 1]
+        assert hist.sum == pytest.approx(252.5)
+        assert hist.mean == pytest.approx(252.5 / 4)
+
+    def test_merge_is_exact_bin_addition(self):
+        spec = HistogramSpec(lo=1.0, hi=100.0, n_bins=4)
+        a, b, both = Histogram(spec), Histogram(spec), Histogram(spec)
+        for v in (1.5, 3.0, 40.0):
+            a.observe(v)
+            both.observe(v)
+        for v in (0.1, 7.0, 7.0, 500.0):
+            b.observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.counts == both.counts
+        assert a.underflow == both.underflow
+        assert a.overflow == both.overflow
+        assert a.count == both.count
+        assert a.to_dict() == both.to_dict()
+
+    def test_merge_rejects_spec_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(TIME_SPEC).merge(Histogram(SIZE_SPEC))
+
+    def test_quantile_monotone_and_bounded(self):
+        hist = Histogram(TIME_SPEC)
+        for v in (0.01, 0.02, 0.05, 0.1, 0.5, 2.0):
+            hist.observe(v)
+        qs = [hist.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert qs == sorted(qs)
+        assert TIME_SPEC.lo <= qs[-1] <= TIME_SPEC.hi
+
+    def test_quantile_empty_and_invalid(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_roundtrip(self):
+        hist = Histogram(RATE_SPEC)
+        for v in (1e5, 3e6, 7e8, 1.0, 1e12):
+            hist.observe(v)
+        back = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert back.to_dict() == hist.to_dict()
+        assert back.quantile(0.5) == hist.quantile(0.5)
+
+    def test_from_dict_rejects_bin_mismatch(self):
+        data = Histogram(HistogramSpec(n_bins=4)).to_dict()
+        data["counts"] = [0, 0]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(data)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=0, max_size=40),
+           st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=0, max_size=40))
+    def test_merge_equals_concatenated_observe(self, xs, ys):
+        spec = HistogramSpec()
+        a, b, both = Histogram(spec), Histogram(spec), Histogram(spec)
+        for v in xs:
+            a.observe(v)
+        for v in ys:
+            b.observe(v)
+        for v in xs + ys:
+            both.observe(v)
+        a.merge(b)
+        # Bin contents are integers: exact regardless of grouping.
+        assert a.counts == both.counts
+        assert a.count == both.count
+        # Sums are float additions: associativity differs between flat
+        # observation and shard merging, so only approximate equality holds
+        # there…
+        assert a.sum == pytest.approx(both.sum)
+        # …but merging the *same shards in the same order* — what both the
+        # serial and the parallel trial engines do — is bit-exact.
+        a2, b2 = Histogram(spec), Histogram(spec)
+        for v in xs:
+            a2.observe(v)
+        for v in ys:
+            b2.observe(v)
+        a2.merge(b2)
+        assert a2.sum == a.sum
+        assert a2.to_dict() == a.to_dict()
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        reg.set_gauge("g", 7)
+        assert reg.counters["a"] == 3.5
+        assert reg.gauges["g"] == 7.0
+        assert len(reg) == 2
+
+    def test_observe_binds_spec_once(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.5, spec=TIME_SPEC)
+        reg.observe("h", 0.7)  # spec omitted: fine
+        reg.observe("h", 0.7, spec=TIME_SPEC)  # same spec: fine
+        with pytest.raises(ValueError):
+            reg.observe("h", 1e3, spec=SIZE_SPEC)
+
+    def test_merge_matches_sequential_recording(self):
+        a, b, both = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for reg in (a, both):
+            reg.inc("c", 2)
+            reg.observe("h", 0.25, spec=TIME_SPEC)
+            reg.set_gauge("g", 1)
+        for reg in (b, both):
+            reg.inc("c", 3)
+            reg.inc("only_b")
+            reg.observe("h", 0.5, spec=TIME_SPEC)
+            reg.set_gauge("g", 2)
+        a.merge(b)
+        assert a.to_dict() == both.to_dict()
+
+    def test_wallclock_quarantine(self):
+        reg = MetricsRegistry()
+        reg.inc("det.counter")
+        reg.observe("det.h", 1.0, spec=TIME_SPEC)
+        reg.observe("profile.x_s", 0.01, spec=TIME_SPEC, wallclock=True)
+        full = reg.to_dict(include_wallclock=True)
+        det = reg.to_dict(include_wallclock=False)
+        assert "profile.x_s" in full["histograms"]
+        assert "profile.x_s" not in det["histograms"]
+        assert det["wallclock"] == []
+        assert full["wallclock"] == ["profile.x_s"]
+        assert "det.counter" in det["counters"]
+
+    def test_mark_wallclock_counter(self):
+        reg = MetricsRegistry()
+        reg.inc("noisy")
+        reg.mark_wallclock("noisy")
+        assert "noisy" not in reg.to_dict(include_wallclock=False)["counters"]
+
+    def test_wallclock_survives_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("profile.y_s", 0.5, spec=TIME_SPEC, wallclock=True)
+        a.merge(b)
+        assert "profile.y_s" not in a.to_dict(False)["histograms"]
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.set_gauge("g", 3.5)
+        reg.observe("h", 123.0, spec=SIZE_SPEC)
+        reg.observe("profile.z_s", 0.1, spec=TIME_SPEC, wallclock=True)
+        back = MetricsRegistry.from_dict(json.loads(reg.to_json()))
+        assert back.to_dict() == reg.to_dict()
+        assert back.to_dict(False) == reg.to_dict(False)
+
+    def test_to_dict_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        assert list(reg.to_dict()["counters"]) == ["a", "z"]
+
+
+class TestSharedSpecs:
+    def test_decade_resolution(self):
+        # All three shared specs use 10 bins per decade.
+        for spec in (TIME_SPEC, SIZE_SPEC, RATE_SPEC):
+            decades = math.log10(spec.hi / spec.lo)
+            assert spec.n_bins == pytest.approx(10 * decades)

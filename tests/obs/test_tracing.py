@@ -1,0 +1,80 @@
+"""Tests for repro.obs.tracing — bounded ring-buffer event traces."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import DEFAULT_CAPACITY, EventTracer, TraceEvent
+
+
+class TestTraceEvent:
+    def test_make_sorts_fields(self):
+        event = TraceEvent.make("rebuffer", 1.5, z=1, a=2)
+        assert event.fields == (("a", 2), ("z", 1))
+        assert event.to_dict() == {
+            "kind": "rebuffer", "time": 1.5, "a": 2, "z": 1,
+        }
+
+    def test_kwarg_order_is_canonicalized(self):
+        # Same logical event regardless of call-site kwargs order.
+        assert TraceEvent.make("x", 0.0, a=1, b=2) == TraceEvent.make(
+            "x", 0.0, b=2, a=1
+        )
+
+    def test_hashable_and_frozen(self):
+        event = TraceEvent.make("x", 0.0, a=1)
+        assert len({event, TraceEvent.make("x", 0.0, a=1)}) == 1
+        with pytest.raises(AttributeError):
+            event.kind = "y"
+
+
+class TestEventTracer:
+    def test_emit_and_order(self):
+        tracer = EventTracer()
+        tracer.emit("a", 0.0)
+        tracer.emit("b", 1.0, stream_id=3)
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == ["a", "b"]
+        assert len(tracer) == 2
+        assert tracer.capacity == DEFAULT_CAPACITY
+
+    def test_ring_drops_oldest_and_accounts(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(5):
+            tracer.emit("e", float(i))
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [e.time for e in tracer.events()] == [2.0, 3.0, 4.0]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_merge_appends_in_order(self):
+        a, b = EventTracer(), EventTracer()
+        a.emit("s0", 0.0)
+        b.emit("s1", 5.0)
+        b.emit("s1", 6.0)
+        a.merge(b)
+        assert [(e.kind, e.time) for e in a.events()] == [
+            ("s0", 0.0), ("s1", 5.0), ("s1", 6.0),
+        ]
+
+    def test_merge_carries_dropped_counts(self):
+        a = EventTracer(capacity=2)
+        b = EventTracer(capacity=2)
+        for i in range(4):
+            b.emit("e", float(i))  # b drops 2
+        a.emit("a0", 0.0)
+        a.merge(b)  # 1 + 2 events into capacity 2: drops 1 more
+        assert a.dropped == 3
+        assert len(a) == 2
+
+    def test_json_roundtrip(self):
+        tracer = EventTracer(capacity=16)
+        tracer.emit("startup", 0.25, stream_id=1, delay=0.25)
+        tracer.emit("rebuffer", 9.5, stream_id=1, duration=1.5)
+        back = EventTracer.from_dict(json.loads(json.dumps(tracer.to_dict())))
+        assert back.capacity == tracer.capacity
+        assert back.events() == tracer.events()
+        assert back.to_dict() == tracer.to_dict()

@@ -75,3 +75,103 @@ class TestCommands:
         )
         predictor = TransmissionTimePredictor()
         predictor.load_state_dict(json.loads(out_file.read_text()))
+
+
+class TestObsCommands:
+    def test_obs_parser_defaults(self):
+        args = build_parser().parse_args(["obs", "collect"])
+        assert args.sessions == 32
+        assert args.workers == 1
+        assert args.out == "metrics.json"
+        assert args.deterministic is False
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_collect_writes_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            [
+                "obs", "collect",
+                "--sessions", "4",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        dump = json.loads(out_file.read_text())
+        assert dump["schema_version"] == 1
+        assert dump["metrics"]["counters"]["trial.sessions"] == 4
+        assert "tcp.rounds" in dump["metrics"]["counters"]
+        captured = capsys.readouterr()
+        assert "counters:" in captured.out
+        assert "events:" in captured.out
+
+    def test_obs_collect_deterministic_excludes_wallclock(self, tmp_path):
+        out_file = tmp_path / "metrics.json"
+        main(
+            [
+                "obs", "collect",
+                "--sessions", "3",
+                "--deterministic",
+                "--out", str(out_file),
+            ]
+        )
+        dump = json.loads(out_file.read_text())
+        names = list(dump["metrics"]["counters"]) + list(
+            dump["metrics"]["histograms"]
+        )
+        assert not any(n.startswith("profile.") for n in names)
+        assert dump["metrics"]["wallclock"] == []
+
+    def test_obs_collect_deterministic_dump_stable_across_workers(
+        self, tmp_path
+    ):
+        files = []
+        for workers in ("1", "2"):
+            path = tmp_path / f"metrics-{workers}.json"
+            main(
+                [
+                    "obs", "collect",
+                    "--sessions", "6",
+                    "--workers", workers,
+                    "--deterministic",
+                    "--out", str(path),
+                ]
+            )
+            files.append(path.read_bytes())
+        assert files[0] == files[1]
+
+    def test_obs_summary_renders_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "metrics.json"
+        main(["obs", "collect", "--sessions", "3", "--out", str(out_file)])
+        capsys.readouterr()  # drop collect output
+        code = main(["obs", "summary", str(out_file), "--events", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "trial.sessions" in out
+        assert "histograms" in out
+
+    def test_trial_metrics_out(self, tmp_path, capsys):
+        from repro import obs
+        from repro.__main__ import _obs_collect_specs
+        from repro.experiment import RandomizedTrial, TrialConfig
+
+        # Exercise the plumbing `repro trial --metrics-out` uses without
+        # paying for scheme training: an instrumented mini-trial dumped via
+        # TrialResult.dump_metrics.
+        trial = RandomizedTrial(
+            _obs_collect_specs(),
+            TrialConfig(n_sessions=3, seed=1, observability=True),
+        ).run()
+        path = tmp_path / "trial-metrics.json"
+        trial.dump_metrics(str(path))
+        assert trial.metrics_path == str(path)
+        dump = json.loads(path.read_text())
+        assert dump["schema_version"] == obs.SCHEMA_VERSION
+        assert dump["metrics"]["counters"]["trial.sessions"] == 3
+
+    def test_trial_parser_metrics_out_default(self):
+        args = build_parser().parse_args(["trial"])
+        assert args.metrics_out is None
