@@ -14,6 +14,8 @@ Commands
     Run an instrumented mini-trial and dump the merged metrics JSON.
 ``obs summary``
     Pretty-print a metrics dump (counters, histogram quantiles, events).
+``lint``
+    Run the AST-based determinism & correctness linter (``repro.lint``).
 """
 
 from __future__ import annotations
@@ -183,6 +185,12 @@ def _cmd_obs_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
     from repro.obs import format_summary
 
@@ -270,6 +278,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of trailing trace events to show",
     )
     summary.set_defaults(func=_cmd_obs_summary)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism & correctness linter",
+        description=(
+            "Statically enforce the determinism contract: seeded RNG only "
+            "(DET001), no wall-clock in simulation paths (DET002), no "
+            "hash-order iteration (DET003), no float equality in simulator "
+            "branches (SIM001), guarded metric emission (OBS001), no "
+            "mutable default arguments (API001)."
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -287,6 +287,7 @@ def run_session(
     # by session id — which is what keeps the merged metrics bit-identical
     # between the serial loop and the process pool.
     obs_ctx = obs.ObsContext() if config.observability else None
+    # repro: allow-DET002(wall-clock session cost; quarantined profile.* metric)
     wall_start = time.perf_counter()
 
     rng = np.random.default_rng((config.seed, session_id))
@@ -373,6 +374,7 @@ def run_session(
         obs_ctx.metrics.inc("trial.streams", float(n_streams))
         obs_ctx.metrics.observe(
             "profile.session_wall_s",
+            # repro: allow-DET002(wall-clock profiling, tagged wallclock=True)
             time.perf_counter() - wall_start,
             spec=obs.TIME_SPEC,
             wallclock=True,
@@ -482,6 +484,7 @@ class RandomizedTrial:
             )
 
         config = self.config
+        # repro: allow-DET002(throughput report timing; never enters results)
         start = time.perf_counter()
         shards = [
             run_session(
@@ -489,11 +492,12 @@ class RandomizedTrial:
             )
             for session_id in range(config.n_sessions)
         ]
-        wall = time.perf_counter() - start
+        wall = time.perf_counter() - start  # repro: allow-DET002(throughput report timing; never enters results)
         n_streams = sum(len(shard.session.streams) for shard in shards)
+        # repro: allow-DET002(throughput report timing; never enters results)
         merge_start = time.perf_counter()
         result = merge_shards(self.specs, config, self._expt_ids, shards)
-        merge_s = time.perf_counter() - merge_start
+        merge_s = time.perf_counter() - merge_start  # repro: allow-DET002(throughput report timing; never enters results)
         result.throughput = ThroughputReport(
             mode="serial",
             workers=1,

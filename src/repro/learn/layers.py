@@ -39,12 +39,23 @@ class Layer:
         return self.forward(x)
 
 
+DEFAULT_INIT_SEED = 0
+"""Seed for weight initialization when no generator is supplied.
+
+Initialization must be reproducible even for ad-hoc construction: an
+unseeded fallback here was exactly the determinism-contract violation
+DET001 exists to catch (every random draw flows from an explicit seed).
+"""
+
+
 class Linear(Layer):
     """Fully-connected layer ``y = x W + b``.
 
     Weights use He initialization, appropriate for the ReLU activations the
-    TTP uses; a seeded ``numpy.random.Generator`` may be supplied for
-    reproducible training runs.
+    TTP uses.  Pass a seeded ``numpy.random.Generator`` (what the training
+    pipeline does, folding ``TrialConfig.seed``); without one the weights
+    are drawn from ``seed``, so construction is deterministic either way —
+    there is no unseeded path.
     """
 
     def __init__(
@@ -52,10 +63,11 @@ class Linear(Layer):
         in_features: int,
         out_features: int,
         rng: Optional[np.random.Generator] = None,
+        seed: int = DEFAULT_INIT_SEED,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("layer dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(seed)
         scale = np.sqrt(2.0 / in_features)
         self.in_features = in_features
         self.out_features = out_features

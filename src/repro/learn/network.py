@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.learn.layers import Linear, ReLU, Sequential
+from repro.learn.layers import DEFAULT_INIT_SEED, Linear, ReLU, Sequential
 from repro.learn.losses import softmax
 
 Array = np.ndarray
@@ -32,10 +32,17 @@ class MLP(Sequential):
         hidden: Sequence[int],
         out_features: int,
         rng: Optional[np.random.Generator] = None,
+        seed: int = DEFAULT_INIT_SEED,
     ) -> None:
         self.in_features = in_features
         self.hidden = list(hidden)
         self.out_features = out_features
+        if rng is None:
+            # One seeded generator shared by every layer: deterministic,
+            # but each layer still draws distinct weights (a per-layer
+            # seeded fallback would initialize same-shaped layers
+            # identically and break symmetry).
+            rng = np.random.default_rng(seed)
         layers: List = []
         width = in_features
         for h in self.hidden:

@@ -1,0 +1,84 @@
+"""repro.lint — AST-based determinism & correctness linter.
+
+A zero-dependency static-analysis pass that enforces the reproduction's
+*determinism contract* (see README "Determinism contract"): every random
+draw flows from ``TrialConfig.seed``, no wall-clock value leaks into
+simulated time, nothing iterates in hash order on an order-sensitive path,
+and instrumentation stays behind the cheap ``obs.ENABLED`` guard.
+
+Rules
+-----
+=======  ==================================================================
+DET001   unseeded / module-global RNG (``np.random.default_rng()`` with no
+         seed, bare ``random.*``, legacy ``np.random.<fn>`` global draws)
+DET002   wall-clock reads (``time.time``/``perf_counter``/
+         ``datetime.now``…) outside the quarantined ``repro.obs`` profiling
+DET003   iteration over ``set(...)`` / ``.keys()`` views without
+         ``sorted(...)``
+SIM001   float ``==``/``!=`` in control-flow conditions in ``repro.net``,
+         ``repro.streaming``, ``repro.core``
+OBS001   metric/trace emission not guarded by ``if obs.ENABLED:``
+API001   mutable default arguments
+=======  ==================================================================
+
+Findings can be waived inline with a reasoned suppression comment::
+
+    t0 = time.perf_counter()  # repro: allow-DET002(throughput report only)
+
+or grandfathered in a committed ``lint-baseline.json``.  Run it as
+``repro lint [paths]``; the tier-1 suite gates on the tree linting clean
+(``tests/lint/test_tree_clean.py``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import (
+    FileContext,
+    Rule,
+    derive_module,
+    make_rules,
+    register,
+    registered_rules,
+)
+from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.lint.cli import main
+from repro.lint.engine import (
+    LintReport,
+    discover_files,
+    lint_paths,
+    lint_source,
+    refreshed_baseline,
+)
+from repro.lint.findings import Finding
+from repro.lint.suppressions import (
+    MALFORMED_RULE_ID,
+    Suppression,
+    parse_suppressions,
+)
+
+# Importing the rule modules registers the rules.
+from repro.lint import rules_api as _rules_api  # noqa: F401
+from repro.lint import rules_det as _rules_det  # noqa: F401
+from repro.lint import rules_obs as _rules_obs  # noqa: F401
+from repro.lint import rules_sim as _rules_sim  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "MALFORMED_RULE_ID",
+    "Rule",
+    "Suppression",
+    "derive_module",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "make_rules",
+    "parse_suppressions",
+    "refreshed_baseline",
+    "register",
+    "registered_rules",
+]

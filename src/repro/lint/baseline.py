@@ -1,0 +1,87 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline maps finding fingerprints (rule + path + offending-line hash,
+see :meth:`repro.lint.findings.Finding.fingerprint`) to an allowed count.
+Findings matching a baseline entry are reported as *baselined* and do not
+fail the run; anything beyond the allowed count is new and fails.  The goal
+state is an empty baseline — it exists so the linter can be adopted on a
+tree with historical findings without blocking CI, then burned down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Allowed historical findings, keyed by fingerprint."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        raw = data.get("findings", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"malformed baseline file {path}")
+        counts: Dict[str, int] = {}
+        for key, value in raw.items():
+            counts[str(key)] = int(value)
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def write(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Mark findings covered by the baseline, respecting counts.
+
+        Findings are consumed in deterministic (path, line) order so the
+        *first* N occurrences of a grandfathered fingerprint are baselined
+        and any extras surface as new.
+        """
+        remaining = dict(self.counts)
+        out: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0 and not finding.suppressed:
+                remaining[key] -= 1
+                out.append(
+                    Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        message=finding.message,
+                        source_line=finding.source_line,
+                        baselined=True,
+                    )
+                )
+            else:
+                out.append(finding)
+        return out

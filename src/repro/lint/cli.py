@@ -1,0 +1,115 @@
+"""``repro lint`` — command-line entry point for the determinism linter.
+
+Exit codes: 0 clean (new findings absent), 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.lint.engine import iter_rule_docs, lint_paths, refreshed_baseline
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE_NAME} next to the current directory, "
+            "when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to absorb all current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.is_file():
+        return Baseline.load(default)
+    return None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.rules:
+        for line in iter_rule_docs():
+            print(line)
+        return 0
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        baseline = refreshed_baseline(args.paths, select=select)
+        baseline.write(target)
+        print(
+            f"wrote {len(baseline.counts)} fingerprint(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+    try:
+        baseline = _resolve_baseline(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, baseline=baseline, select=select)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & correctness linter",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

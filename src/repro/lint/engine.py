@@ -1,0 +1,152 @@
+"""Lint engine: file discovery, per-file rule execution, reporting.
+
+The engine is pure stdlib (``ast`` + ``re``) and deterministic: files are
+visited in sorted order and findings are sorted by ``(path, line, col,
+rule)``, so two runs over the same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.lint.base import FileContext, Rule, derive_module, make_rules
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.suppressions import apply_suppressions, parse_suppressions
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """New findings — these fail the run."""
+
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def format_human(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.format_human())
+        for error in self.parse_errors:
+            lines.append(error)
+        summary = (
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "parse_errors": list(self.parse_errors),
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            found.extend(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            found.append(path)
+    unique = sorted(set(found), key=lambda p: p.as_posix())
+    return unique
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a source string; returns raw findings (suppressions applied,
+    suppressed ones included with ``suppressed=True``)."""
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        tree=tree,
+        lines=lines,
+        module=derive_module(path, lines),
+    )
+    active_rules: Sequence[Rule] = (
+        rules if rules is not None else make_rules()
+    )
+    raw: List[Finding] = []
+    for rule in active_rules:
+        raw.extend(rule.check(ctx))
+    effective, malformed = parse_suppressions(lines, path)
+    processed = apply_suppressions(raw, effective)
+    processed.extend(malformed)
+    processed.sort(key=Finding.sort_key)
+    return processed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    baseline: Optional[Baseline] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files/directories, returning a :class:`LintReport`."""
+    report = LintReport()
+    rules = make_rules(select)
+    all_findings: List[Finding] = []
+    for path in discover_files(paths):
+        report.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            findings = lint_source(source, path.as_posix(), rules=rules)
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                f"{path.as_posix()}:{exc.lineno or 0}:0: PARSE {exc.msg}"
+            )
+            continue
+        all_findings.extend(findings)
+    if baseline is not None:
+        all_findings = baseline.apply(all_findings)
+    for finding in sorted(all_findings, key=Finding.sort_key):
+        if finding.suppressed:
+            report.suppressed.append(finding)
+        elif finding.baselined:
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def refreshed_baseline(
+    paths: Sequence[Union[str, Path]],
+    select: Optional[Sequence[str]] = None,
+) -> Baseline:
+    """Baseline capturing every *current* unsuppressed finding."""
+    report = lint_paths(paths, baseline=None, select=select)
+    return Baseline.from_findings(report.findings)
+
+
+def iter_rule_docs() -> Iterable[str]:
+    """Human-readable one-liners for ``repro lint --rules``."""
+    for rule in make_rules():
+        yield f"{rule.id}: {rule.summary}"

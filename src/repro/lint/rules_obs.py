@@ -1,0 +1,134 @@
+"""OBS001 — metric/trace emission must sit behind the ``obs.ENABLED`` guard.
+
+The observability layer's hot-path contract (PR 2) is: when disabled, an
+instrumented call site costs one attribute load and one branch.  That only
+holds if every ``obs.counter_inc`` / ``obs.observe`` / ``obs.gauge_set`` /
+``obs.emit`` call is lexically inside a branch on ``obs.ENABLED`` — the
+helpers themselves bail early, but the *argument construction* (f-strings,
+``float(...)`` casts) would still run on every event.
+
+Recognized guard shapes::
+
+    if obs.ENABLED:
+        obs.counter_inc(...)          # guarded
+
+    if shortfall > 0 and obs.ENABLED:
+        obs.observe(...)              # guarded (ENABLED anywhere in test)
+
+    if not obs.ENABLED:
+        return
+    obs.emit(...)                     # guarded (early-exit form)
+
+``obs.span`` and ``obs.timed`` are exempt: they are engineered to be
+no-op-cheap unguarded.  The ``repro.obs`` package itself is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.base import FileContext, Rule, register
+from repro.lint.findings import Finding
+
+_EMISSION_ATTRS = {"counter_inc", "gauge_set", "observe", "emit"}
+
+
+def _mentions_enabled(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "ENABLED":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "ENABLED":
+            return True
+    return False
+
+
+def _is_negated_enabled(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.Not)
+        and _mentions_enabled(node.operand)
+    )
+
+
+def _exits(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class _GuardVisitor(ast.NodeVisitor):
+    """Collect ids of all nodes lexically inside an ENABLED-guarded region."""
+
+    def __init__(self) -> None:
+        self.guarded: Set[int] = set()
+
+    def _mark(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            self.guarded.add(id(sub))
+
+    def visit_If(self, node: ast.If) -> None:
+        if _mentions_enabled(node.test) and not _is_negated_enabled(node.test):
+            for stmt in node.body:
+                self._mark(stmt)
+        if _is_negated_enabled(node.test):
+            for stmt in node.orelse:
+                self._mark(stmt)
+        self.generic_visit(node)
+
+    def _visit_body(self, body: List[ast.stmt]) -> None:
+        # Early-exit form: everything after `if not obs.ENABLED: return`.
+        for index, stmt in enumerate(body):
+            if (
+                isinstance(stmt, ast.If)
+                and _is_negated_enabled(stmt.test)
+                and stmt.body
+                and _exits(stmt.body[-1])
+                and not stmt.orelse
+            ):
+                for later in body[index + 1:]:
+                    self._mark(later)
+                break
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_body(node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_body(node.body)
+        self.generic_visit(node)
+
+
+@register
+class UnguardedEmissionRule(Rule):
+    """OBS001 — emission helpers outside an ``obs.ENABLED`` branch."""
+
+    id = "OBS001"
+    summary = (
+        "obs.counter_inc/observe/gauge_set/emit outside `if obs.ENABLED:` — "
+        "argument construction would run even with observability off"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package("repro.obs"):
+            return
+        guards = _GuardVisitor()
+        guards.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _EMISSION_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "obs"
+            ):
+                continue
+            if id(node) in guards.guarded:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"obs.{func.attr}(...) is not behind `if obs.ENABLED:` — "
+                "guard it so disabled runs pay one branch, not argument "
+                "construction",
+            )

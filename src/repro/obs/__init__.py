@@ -41,7 +41,7 @@ import os
 import time
 from contextlib import contextmanager
 from functools import wraps
-from typing import Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, TypeVar, Union, cast
 
 from repro.obs.context import (
     ObsContext,
@@ -165,7 +165,7 @@ def observe(
         ctx.metrics.observe(name, value, spec=spec, wallclock=wallclock)
 
 
-def emit(kind: str, time: float, **fields) -> None:
+def emit(kind: str, time: float, **fields: Any) -> None:
     """Emit a trace event at *simulated* time ``time``."""
     ctx = _ACTIVE
     if ctx is not None:
@@ -185,7 +185,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -203,14 +203,14 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         elapsed = time.perf_counter() - self._start
         self._ctx.metrics.observe(
             f"profile.{self._name}_s", elapsed, spec=TIME_SPEC, wallclock=True
         )
 
 
-def span(name: str):
+def span(name: str) -> Union["_NullSpan", "_Span"]:
     """Context manager timing a block into the wall-clock histogram
     ``profile.<name>_s``.  Returns a shared null object when observability is
     disabled, so ``with obs.span("x"):`` costs one call + one branch."""
@@ -220,13 +220,16 @@ def span(name: str):
     return _Span(name, ctx)
 
 
-def timed(name: str):
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def timed(name: str) -> Callable[[_F], _F]:
     """Decorator form of :func:`span` — times every call of the wrapped
     function into ``profile.<name>_s`` when observability is enabled."""
 
-    def decorate(fn):
+    def decorate(fn: _F) -> _F:
         @wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             ctx = _ACTIVE
             if not ENABLED or ctx is None:
                 return fn(*args, **kwargs)
@@ -241,7 +244,7 @@ def timed(name: str):
                     wallclock=True,
                 )
 
-        return wrapper
+        return cast(_F, wrapper)
 
     return decorate
 

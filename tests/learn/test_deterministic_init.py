@@ -1,0 +1,76 @@
+"""Regression tests for the DET001 fix in repro.learn.layers.
+
+``Linear(..., rng=None)`` used to fall back to an *unseeded*
+``np.random.default_rng()`` — the precise determinism-contract violation
+the linter's DET001 rule exists to catch.  The fallback now derives from an
+explicit ``seed`` parameter (default ``DEFAULT_INIT_SEED``), so ad-hoc
+construction is reproducible and `repro lint src` stays clean.
+"""
+
+import numpy as np
+
+from repro.learn.layers import DEFAULT_INIT_SEED, Linear
+from repro.learn.network import MLP
+
+
+class TestLinearDefaultInit:
+    def test_default_construction_is_deterministic(self):
+        a = Linear(4, 3)
+        b = Linear(4, 3)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_default_matches_explicit_default_seed(self):
+        a = Linear(4, 3)
+        b = Linear(4, 3, seed=DEFAULT_INIT_SEED)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_distinct_seeds_give_distinct_weights(self):
+        a = Linear(4, 3, seed=1)
+        b = Linear(4, 3, seed=2)
+        assert not np.allclose(a.weight, b.weight)
+
+    def test_explicit_rng_still_wins(self):
+        rng = np.random.default_rng(7)
+        expected = np.random.default_rng(7).normal(
+            0.0, np.sqrt(2.0 / 4), size=(4, 3)
+        )
+        layer = Linear(4, 3, rng=rng, seed=99)
+        np.testing.assert_array_equal(layer.weight, expected)
+
+
+class TestMlpDefaultInit:
+    def test_default_construction_is_deterministic(self):
+        a = MLP(4, [8], 2)
+        b = MLP(4, [8], 2)
+        for (name_a, val_a, _), (name_b, val_b, __) in zip(
+            a.parameters(), b.parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(val_a, val_b)
+
+    def test_same_shape_layers_draw_distinct_weights(self):
+        # A single shared generator must feed all layers: a naive
+        # per-layer seeded fallback would initialize same-shaped layers
+        # identically and break symmetry.
+        net = MLP(4, [4], 4)
+        weights = {
+            name: value for name, value, _ in net.parameters()
+            if name.endswith("weight")
+        }
+        assert not np.allclose(weights["0.weight"], weights["2.weight"])
+
+    def test_seed_param_threads_through(self):
+        a = MLP(3, [5], 2, seed=11)
+        b = MLP(3, [5], 2, seed=11)
+        c = MLP(3, [5], 2, seed=12)
+        np.testing.assert_array_equal(
+            a.layers[0].weight, b.layers[0].weight
+        )
+        assert not np.allclose(a.layers[0].weight, c.layers[0].weight)
+
+    def test_state_dict_round_trip_unaffected(self):
+        net = MLP(3, [4], 2)
+        clone = MLP(3, [4], 2)
+        clone.load_state_dict(net.state_dict())
+        x = np.ones((2, 3))
+        np.testing.assert_allclose(clone.predict(x), net.predict(x))

@@ -1,0 +1,15 @@
+"""BAD: dict literal and constructor-call defaults, incl. keyword-only."""
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def register(name, *, registry=dict()):
+    registry[name] = True
+    return registry
+
+
+def dedupe(items, seen=set()):
+    return [x for x in items if x not in seen]

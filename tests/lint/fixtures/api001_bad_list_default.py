@@ -1,0 +1,6 @@
+"""BAD: mutable list default shared across calls."""
+
+
+def collect(value, acc=[]):
+    acc.append(value)
+    return acc

@@ -1,0 +1,13 @@
+"""GOOD: None sentinel (or immutable) defaults."""
+
+
+def collect(value, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc
+
+
+def windowed(values, window=(0, 10), label="w"):
+    lo, hi = window
+    return [v for v in values if lo <= v < hi], label

@@ -1,0 +1,13 @@
+"""BAD: legacy numpy.random module-level draws use the global RandomState."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def noise(n):
+    np.random.seed(42)
+    base = np.random.rand(n)
+    return base + np.random.normal(size=n)
+
+
+def fresh():
+    return default_rng()

@@ -1,0 +1,11 @@
+"""BAD: stdlib random module-level functions use a hidden global RNG."""
+import random
+
+
+def jitter(delay):
+    return delay + random.uniform(0.0, 0.1)
+
+
+def pick(options):
+    random.shuffle(options)
+    return random.choice(options)

@@ -1,0 +1,7 @@
+"""BAD: default_rng() with no seed draws from OS entropy."""
+import numpy as np
+
+
+def init_weights(shape):
+    rng = np.random.default_rng()
+    return rng.normal(size=shape)

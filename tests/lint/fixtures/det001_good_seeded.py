@@ -1,0 +1,22 @@
+"""GOOD: every generator is constructed from an explicit seed."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def init_weights(shape, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape)
+
+
+def folded(config_seed, session_id):
+    return np.random.default_rng((config_seed, session_id))
+
+
+def stdlib_ok(seed):
+    return random.Random(seed).random()
+
+
+def from_import_ok(seed):
+    return default_rng(seed)

@@ -1,0 +1,11 @@
+# repro: module=repro.experiment.fake
+"""BAD: wall-clock datetimes leaking into experiment state."""
+from datetime import datetime
+
+
+def session_day():
+    return datetime.now().date()
+
+
+def legacy_utc():
+    return datetime.utcnow()

@@ -1,0 +1,9 @@
+# repro: module=repro.net.fake
+"""BAD: perf_counter imported by name is still a wall-clock read."""
+from time import perf_counter
+
+
+def measure(conn):
+    start = perf_counter()
+    conn.poll()
+    return perf_counter() - start

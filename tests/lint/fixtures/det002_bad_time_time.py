@@ -1,0 +1,8 @@
+# repro: module=repro.streaming.fake
+"""BAD: stamping simulated records with the wall clock."""
+import time
+
+
+def stamp_record(record):
+    record["time"] = time.time()
+    return record

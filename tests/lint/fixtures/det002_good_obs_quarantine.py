@@ -1,0 +1,8 @@
+# repro: module=repro.obs.fake_profiling
+"""GOOD: wall-clock reads inside repro.obs are the quarantined profiling
+surface — tagged nondeterministic and excluded from bit-identical dumps."""
+import time
+
+
+def span_start():
+    return time.perf_counter()

@@ -1,0 +1,11 @@
+# repro: module=repro.streaming.fake
+"""GOOD: simulated time comes from the event loop, never the OS."""
+
+
+def advance(clock_s, delta_s):
+    return clock_s + delta_s
+
+
+def stamp_record(record, now_s):
+    record["time"] = now_s
+    return record

@@ -1,0 +1,8 @@
+"""BAD: .keys() iteration feeding serialized output without sorted()."""
+
+
+def serialize(metrics):
+    lines = []
+    for name in metrics.keys():
+        lines.append(f"{name}={metrics[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""BAD: iterating a set in hash order to assign session ids."""
+
+
+def assign_ids(names):
+    out = {}
+    for index, name in enumerate(set(names)):
+        out[name] = index
+    return out
+
+
+def listed(names):
+    return [name.upper() for name in set(names)]

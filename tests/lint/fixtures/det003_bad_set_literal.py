@@ -1,0 +1,6 @@
+"""BAD: set algebra iterated without an ordering."""
+
+
+def pending(scheduled, done):
+    for name in set(scheduled) - set(done):
+        yield name

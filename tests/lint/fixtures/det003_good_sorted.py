@@ -1,0 +1,27 @@
+"""GOOD: unordered collections are sorted (or consumed order-insensitively)
+before anything order-sensitive sees them."""
+
+
+def serialize(metrics):
+    lines = []
+    for name in sorted(metrics.keys()):
+        lines.append(f"{name}={metrics[name]}")
+    return "\n".join(lines)
+
+
+def assign_ids(names):
+    return {name: index for index, name in enumerate(sorted(set(names)))}
+
+
+def total(values):
+    return sum(v for v in set(values))
+
+
+def membership(name, names):
+    return name in set(names)
+
+
+def insertion_ordered(metrics):
+    # Plain dict iteration is insertion-ordered — deterministic when the
+    # insertions are.
+    return [name for name in metrics]

@@ -1,0 +1,8 @@
+# repro: module=repro.streaming.fake
+"""BAD: emission helpers called without the obs.ENABLED guard."""
+from repro import obs
+
+
+def on_chunk(size_bytes):
+    obs.counter_inc("fake.chunks")
+    obs.observe("fake.chunk_bytes", float(size_bytes))

@@ -1,0 +1,10 @@
+# repro: module=repro.net.fake
+"""BAD: guarded by an unrelated condition, not obs.ENABLED."""
+from repro import obs
+
+
+def on_loss(verbose, n):
+    if verbose:
+        obs.counter_inc("fake.losses")
+    if n > 0:
+        obs.emit("loss", time=0.0, count=n)

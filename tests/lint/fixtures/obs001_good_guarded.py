@@ -1,0 +1,27 @@
+# repro: module=repro.streaming.fake
+"""GOOD: every emission sits behind an obs.ENABLED branch (direct,
+compound, or early-exit), and span/timed are exempt by design."""
+from repro import obs
+
+
+def on_chunk(size_bytes):
+    if obs.ENABLED:
+        obs.counter_inc("fake.chunks")
+        obs.observe("fake.chunk_bytes", float(size_bytes))
+
+
+def on_stall(stall_s):
+    if stall_s > 0 and obs.ENABLED:
+        obs.observe("fake.stall_s", stall_s)
+
+
+def on_session_end(result):
+    if not obs.ENABLED:
+        return
+    obs.counter_inc("fake.sessions")
+    obs.emit("session_end", time=result.t, streams=result.n)
+
+
+def planner(context):
+    with obs.span("fake.plan"):
+        return context.plan()

@@ -1,0 +1,8 @@
+# repro: module=repro.core.fake
+"""BAD: float(...) cast compared exactly in a condition."""
+
+
+def check(bin_width, total):
+    if float(total) == bin_width:
+        return True
+    return 1 if total / 2 == bin_width else 0

@@ -1,0 +1,10 @@
+# repro: module=repro.net.fake
+"""BAD: exact float equality steering a simulation branch."""
+
+
+def on_tick(buffer_s, chunk_s):
+    if buffer_s == 0.0:
+        return "rebuffer"
+    if buffer_s + chunk_s == 15.0:
+        return "full"
+    return "playing"

@@ -1,0 +1,14 @@
+# repro: module=repro.streaming.fake
+"""BAD: != on an accumulated float controls loop termination."""
+
+
+def drain(level_s, step_s):
+    while level_s != 0.0:
+        level_s = max(level_s - step_s, 0.0)
+    return level_s
+
+
+def ratio_check(sent, acked):
+    if float(acked) / float(sent) != 1.0:
+        return "loss"
+    return "clean"

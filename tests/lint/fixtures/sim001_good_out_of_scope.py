@@ -1,0 +1,9 @@
+# repro: module=repro.analysis.fake
+"""GOOD (scope): SIM001 only covers net/, streaming/, core/ — analysis
+post-processing may compare exact sentinels."""
+
+
+def is_sentinel(value):
+    if value == -1.0:
+        return True
+    return False

@@ -1,0 +1,20 @@
+# repro: module=repro.net.fake
+"""GOOD: tolerance comparisons, integer equality, and float compares
+outside control flow are all fine."""
+import math
+
+
+def on_tick(buffer_s, chunks_sent, target):
+    if abs(buffer_s - 0.0) < 1e-9:
+        return "rebuffer"
+    if chunks_sent == 0:
+        return "cold"
+    if math.isclose(buffer_s, target):
+        return "full"
+    return "playing"
+
+
+def mask(values):
+    # A float == outside a control-flow condition (vectorized masks) is not
+    # a branch and is not flagged.
+    return values == 0.0

@@ -1,0 +1,101 @@
+"""Baseline round-trip: grandfather findings, fail only on new ones."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, lint_paths, refreshed_baseline
+
+BAD_MODULE = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+WORSE_MODULE = BAD_MODULE + """\
+
+
+def stamp_again():
+    return time.time()
+"""
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(BAD_MODULE)
+    return pkg
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_apply_is_clean(self, bad_tree, tmp_path):
+        dirty = lint_paths([bad_tree])
+        assert not dirty.ok and len(dirty.findings) == 1
+
+        baseline = refreshed_baseline([bad_tree])
+        path = tmp_path / "baseline.json"
+        baseline.write(path)
+
+        clean = lint_paths([bad_tree], baseline=Baseline.load(path))
+        assert clean.ok
+        assert len(clean.baselined) == 1
+        assert clean.baselined[0].baselined
+
+    def test_new_finding_beyond_baseline_count_fails(self, bad_tree, tmp_path):
+        path = tmp_path / "baseline.json"
+        refreshed_baseline([bad_tree]).write(path)
+
+        (bad_tree / "mod.py").write_text(WORSE_MODULE)
+        report = lint_paths([bad_tree], baseline=Baseline.load(path))
+        # Both calls share a fingerprint (identical source text), but the
+        # baseline only allows one occurrence.
+        assert not report.ok
+        assert len(report.findings) == 1
+        assert len(report.baselined) == 1
+
+    def test_baseline_survives_line_shifts(self, bad_tree, tmp_path):
+        path = tmp_path / "baseline.json"
+        refreshed_baseline([bad_tree]).write(path)
+
+        shifted = "# a new leading comment\n# another\n" + BAD_MODULE
+        (bad_tree / "mod.py").write_text(shifted)
+        report = lint_paths([bad_tree], baseline=Baseline.load(path))
+        assert report.ok and len(report.baselined) == 1
+
+    def test_file_format_is_versioned_and_sorted(self, bad_tree, tmp_path):
+        path = tmp_path / "baseline.json"
+        refreshed_baseline([bad_tree]).write(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert list(data["findings"]) == sorted(data["findings"])
+        assert all(count >= 1 for count in data["findings"].values())
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_suppressed_findings_do_not_consume_baseline(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            textwrap.dedent(
+                """\
+                import time
+
+                t0 = time.time()  # repro: allow-DET002(startup banner)
+                t1 = time.time()
+                """
+            )
+        )
+        baseline_path = tmp_path / "baseline.json"
+        refreshed_baseline([pkg]).write(baseline_path)
+        report = lint_paths([pkg], baseline=Baseline.load(baseline_path))
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert len(report.baselined) == 1

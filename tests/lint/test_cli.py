@@ -1,0 +1,90 @@
+"""CLI: exit codes, formats, baseline flags — via ``repro lint``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.lint.cli import main as lint_main
+
+
+@pytest.fixture
+def dirty_dir(tmp_path):
+    (tmp_path / "m.py").write_text("import time\nt = time.time()\n")
+    return tmp_path
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_dir, capsys):
+        assert lint_main([str(dirty_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "m.py:2:" in out
+
+    def test_json_format(self, dirty_dir, capsys):
+        assert lint_main([str(dirty_dir), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "DET002"
+
+    def test_write_baseline_then_clean(self, dirty_dir, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [str(dirty_dir), "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        assert baseline.is_file()
+        assert (
+            lint_main([str(dirty_dir), "--baseline", str(baseline)]) == 0
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_overrides(self, dirty_dir, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        lint_main(
+            [str(dirty_dir), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert (
+            lint_main(
+                [
+                    str(dirty_dir),
+                    "--baseline",
+                    str(baseline),
+                    "--no-baseline",
+                ]
+            )
+            == 1
+        )
+
+    def test_missing_baseline_file_is_usage_error(self, dirty_dir):
+        assert (
+            lint_main([str(dirty_dir), "--baseline", "/nonexistent.json"]) == 2
+        )
+
+    def test_select_filters_rules(self, dirty_dir):
+        assert lint_main([str(dirty_dir), "--select", "DET001"]) == 0
+        assert lint_main([str(dirty_dir), "--select", "DET002"]) == 1
+
+    def test_rules_listing(self, capsys):
+        assert lint_main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ["DET001", "DET002", "DET003", "SIM001", "OBS001",
+                        "API001"]:
+            assert rule_id in out
+
+
+class TestReproSubcommand:
+    def test_repro_lint_subcommand(self, dirty_dir, capsys):
+        assert repro_main(["lint", str(dirty_dir)]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_repro_lint_help_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["lint", "--help"])
+        assert excinfo.value.code == 0
+        assert "determinism" in capsys.readouterr().out

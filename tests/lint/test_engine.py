@@ -1,0 +1,108 @@
+"""Engine, registry, module scoping, and report plumbing."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    derive_module,
+    discover_files,
+    lint_paths,
+    lint_source,
+    make_rules,
+    registered_rules,
+)
+
+
+class TestRegistry:
+    def test_expected_rule_ids(self):
+        assert set(registered_rules()) >= {
+            "DET001", "DET002", "DET003", "SIM001", "OBS001", "API001",
+        }
+
+    def test_select_restricts_rules(self):
+        rules = make_rules(select=["DET001"])
+        assert [r.id for r in rules] == ["DET001"]
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            make_rules(select=["NOPE999"])
+
+    def test_rules_have_summaries(self):
+        for rule in make_rules():
+            assert rule.id and rule.summary
+
+
+class TestModuleDerivation:
+    def test_src_layout(self):
+        assert derive_module("src/repro/net/tcp.py", []) == "repro.net.tcp"
+
+    def test_repro_rooted(self):
+        assert derive_module("repro/obs/context.py", []) == "repro.obs.context"
+
+    def test_init_collapses_to_package(self):
+        assert derive_module("src/repro/lint/__init__.py", []) == "repro.lint"
+
+    def test_pragma_wins(self):
+        lines = ["# repro: module=repro.net.fake"]
+        assert derive_module("tests/whatever.py", lines) == "repro.net.fake"
+
+    def test_unrecognizable_path_is_empty(self):
+        assert derive_module("scripts/tool.py", []) == ""
+
+
+class TestEngine:
+    def test_deterministic_file_order_and_sorting(self, tmp_path):
+        for name in ["b.py", "a.py"]:
+            (tmp_path / name).write_text("import time\nt = time.time()\n")
+        files = discover_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+        report = lint_paths([tmp_path])
+        assert [f.path for f in report.findings] == [
+            (tmp_path / "a.py").as_posix(),
+            (tmp_path / "b.py").as_posix(),
+        ]
+
+    def test_two_runs_identical(self, tmp_path):
+        (tmp_path / "m.py").write_text("def f(x=[]):\n    return x\n")
+        first = lint_paths([tmp_path]).to_json()
+        second = lint_paths([tmp_path]).to_json()
+        assert first == second
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = lint_paths([tmp_path])
+        assert not report.ok
+        assert report.parse_errors and "PARSE" in report.parse_errors[0]
+
+    def test_json_report_shape(self, tmp_path):
+        (tmp_path / "m.py").write_text("import time\nt = time.time()\n")
+        payload = json.loads(lint_paths([tmp_path]).to_json())
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET002"
+        assert finding["line"] == 2
+        assert finding["fingerprint"].startswith("DET002:")
+
+    def test_pycache_ignored(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "m.py").write_text("import time\nt = time.time()\n")
+        assert discover_files([tmp_path]) == []
+
+    def test_lint_source_accepts_single_rule_subset(self):
+        code = "import time\n\n\ndef f(x=[]):\n    return time.time()\n"
+        only_api = lint_source(code, rules=make_rules(select=["API001"]))
+        assert {f.rule for f in only_api} == {"API001"}
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding("DET001", "p.py", 3, 0, "m", source_line="  x = rng()")
+        b = Finding("DET001", "p.py", 30, 4, "m", source_line="x = rng()  ")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_format_human(self):
+        f = Finding("SIM001", "net.py", 7, 4, "float ==")
+        assert f.format_human() == "net.py:7:4: SIM001 float =="

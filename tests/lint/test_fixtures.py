@@ -1,0 +1,108 @@
+"""Self-test corpus: every rule must fire on its bad fixtures and stay
+silent on its good ones.
+
+Fixture files live in ``tests/lint/fixtures`` and follow the naming
+convention ``<rule>_<bad|good>_<description>.py``.  Rule scoping is driven
+by the ``# repro: module=...`` pragma inside each fixture, so the corpus
+exercises the same path-scoping logic production files go through.
+
+Deleting (or breaking) any single rule's implementation makes its bad
+fixtures stop producing findings, which fails this module — the linter is
+its own regression suite.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source, registered_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_NAME = re.compile(r"^(?P<rule>[a-z]+\d+)_(?P<verdict>bad|good)_")
+
+
+def _fixture_cases():
+    cases = []
+    for path in sorted(FIXTURES.glob("*.py")):
+        match = _NAME.match(path.name)
+        assert match, f"fixture {path.name} does not follow <rule>_<bad|good>_*"
+        cases.append(
+            pytest.param(
+                path,
+                match.group("rule").upper(),
+                match.group("verdict"),
+                id=path.stem,
+            )
+        )
+    return cases
+
+
+def _findings_for(path, rule):
+    findings = lint_source(path.read_text(), path=path.as_posix())
+    return [
+        f for f in findings if f.rule == rule and not f.suppressed
+    ]
+
+
+class TestCorpusShape:
+    def test_every_rule_has_good_and_two_bad_fixtures(self):
+        rules = set(registered_rules())
+        by_rule = {rule: {"bad": 0, "good": 0} for rule in rules}
+        for path in FIXTURES.glob("*.py"):
+            match = _NAME.match(path.name)
+            assert match is not None
+            rule = match.group("rule").upper()
+            assert rule in rules, f"{path.name} names unknown rule {rule}"
+            by_rule[rule][match.group("verdict")] += 1
+        for rule, counts in sorted(by_rule.items()):
+            assert counts["bad"] >= 2, f"{rule} needs >=2 bad fixtures"
+            assert counts["good"] >= 1, f"{rule} needs >=1 good fixture"
+
+    def test_at_least_six_rules_registered(self):
+        assert len(registered_rules()) >= 6
+
+
+@pytest.mark.parametrize("path,rule,verdict", _fixture_cases())
+def test_fixture(path, rule, verdict):
+    findings = _findings_for(path, rule)
+    if verdict == "bad":
+        assert findings, (
+            f"{rule} did not fire on {path.name}; the rule implementation "
+            "is missing or broken"
+        )
+        for finding in findings:
+            assert finding.path == path.as_posix()
+            assert finding.line >= 1
+            assert finding.message
+    else:
+        assert not findings, (
+            f"{rule} false positive on {path.name}: "
+            + "; ".join(f.format_human() for f in findings)
+        )
+
+
+class TestBadFixtureLocations:
+    """Spot-check that findings land on the offending lines."""
+
+    def test_det001_line_points_at_default_rng(self):
+        path = FIXTURES / "det001_bad_unseeded_default_rng.py"
+        (finding,) = _findings_for(path, "DET001")
+        assert "default_rng" in path.read_text().splitlines()[finding.line - 1]
+
+    def test_sim001_counts_both_branches(self):
+        path = FIXTURES / "sim001_bad_float_eq.py"
+        assert len(_findings_for(path, "SIM001")) == 2
+
+    def test_det002_counts_every_call(self):
+        path = FIXTURES / "det002_bad_from_import.py"
+        assert len(_findings_for(path, "DET002")) == 2
+
+    def test_obs001_counts_every_unguarded_emission(self):
+        path = FIXTURES / "obs001_bad_unguarded.py"
+        assert len(_findings_for(path, "OBS001")) == 2
+
+    def test_api001_counts_every_default(self):
+        path = FIXTURES / "api001_bad_dict_and_ctor.py"
+        assert len(_findings_for(path, "API001")) == 3

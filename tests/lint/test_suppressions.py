@@ -1,0 +1,90 @@
+"""Inline suppression comments: same-line, standalone-line, reason audit."""
+
+import textwrap
+
+from repro.lint import MALFORMED_RULE_ID, lint_source, parse_suppressions
+
+
+def _lint(code):
+    return lint_source(textwrap.dedent(code))
+
+
+class TestSuppressionComments:
+    def test_same_line_suppression_silences_finding(self):
+        findings = _lint(
+            """\
+            import time
+
+            def report():
+                return time.time()  # repro: allow-DET002(operator-facing log only)
+            """
+        )
+        det002 = [f for f in findings if f.rule == "DET002"]
+        assert len(det002) == 1
+        assert det002[0].suppressed
+        assert det002[0].suppression_reason == "operator-facing log only"
+
+    def test_standalone_comment_suppresses_next_code_line(self):
+        findings = _lint(
+            """\
+            import time
+
+            def report():
+                # repro: allow-DET002(operator-facing log only)
+                return time.time()
+            """
+        )
+        det002 = [f for f in findings if f.rule == "DET002"]
+        assert len(det002) == 1 and det002[0].suppressed
+
+    def test_wrong_rule_id_does_not_silence(self):
+        findings = _lint(
+            """\
+            import time
+
+            def report():
+                return time.time()  # repro: allow-DET001(not the right rule)
+            """
+        )
+        det002 = [f for f in findings if f.rule == "DET002"]
+        assert len(det002) == 1 and not det002[0].suppressed
+
+    def test_suppression_without_reason_is_malformed(self):
+        findings = _lint(
+            """\
+            import time
+
+            def report():
+                return time.time()  # repro: allow-DET002
+            """
+        )
+        assert any(f.rule == MALFORMED_RULE_ID for f in findings)
+        det002 = [f for f in findings if f.rule == "DET002"]
+        assert len(det002) == 1 and not det002[0].suppressed
+
+    def test_empty_reason_is_malformed(self):
+        findings = _lint(
+            """\
+            x = 1  # repro: allow-API001()
+            """
+        )
+        assert any(f.rule == MALFORMED_RULE_ID for f in findings)
+
+    def test_multiple_suppressions_on_one_line(self):
+        lines = [
+            "x = 1  # repro: allow-DET001(a) repro: allow-SIM001(b)",
+        ]
+        effective, malformed = parse_suppressions(lines, "f.py")
+        assert not malformed
+        rules = {s.rule for s in effective[1]}
+        assert rules == {"DET001", "SIM001"}
+
+    def test_standalone_comment_skips_blank_and_comment_lines(self):
+        lines = [
+            "# repro: allow-DET002(why)",
+            "",
+            "# another comment",
+            "t = time.time()",
+        ]
+        effective, _ = parse_suppressions(lines, "f.py")
+        assert any(s.rule == "DET002" for s in effective.get(4, []))

@@ -1,0 +1,38 @@
+"""Tier-1 gate: the source tree must lint clean.
+
+This is the enforcement point for the determinism contract — the same check
+CI runs as ``repro lint src``.  It runs with *no* baseline, so the tree
+must be genuinely clean (inline reasoned suppressions are the only waiver
+mechanism), and every suppression in the tree must carry a reason.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestTreeClean:
+    def test_src_lints_clean_without_baseline(self):
+        report = lint_paths([SRC], baseline=None)
+        assert report.files_checked > 50
+        assert not report.parse_errors, report.parse_errors
+        assert not report.findings, "\n" + "\n".join(
+            f.format_human() for f in report.findings
+        )
+
+    def test_all_suppressions_carry_reasons(self):
+        report = lint_paths([SRC], baseline=None)
+        for finding in report.suppressed:
+            assert finding.suppression_reason.strip(), finding.format_human()
+
+    def test_committed_baseline_is_empty(self):
+        # The goal state after the cleanup sweep: nothing grandfathered.
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        assert baseline_path.is_file()
+        import json
+
+        data = json.loads(baseline_path.read_text())
+        assert data["findings"] == {}

@@ -1,0 +1,32 @@
+"""Optional mypy gate: runs when mypy is installed, skips otherwise.
+
+CI has a dedicated ``typecheck`` job that installs mypy and runs it
+directly; this test mirrors it for local development so annotation
+regressions in ``repro.lint`` / ``repro.obs`` / ``repro.core`` surface in
+the normal pytest loop too.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+mypy_missing = importlib.util.find_spec("mypy") is None
+
+
+@pytest.mark.skipif(mypy_missing, reason="mypy not installed")
+def test_mypy_clean_on_contract_packages():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        "mypy reported errors:\n" + result.stdout + result.stderr
+    )
