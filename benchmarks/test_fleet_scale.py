@@ -1,0 +1,181 @@
+"""Constant-memory scaling of the fleet engine (`repro.fleet`).
+
+The paper's dataset is 14.2 user-years accumulated over months of
+continuous operation — no batch harness that retains every stream record
+survives that.  The fleet driver's contract is **O(chunk) memory in the
+number of sessions**: each committed chunk is folded into exact streaming
+sinks and discarded.
+
+This bench measures peak traced memory (``tracemalloc``) for the same
+workload at two scales (x``REPRO_FLEET_BENCH_SCALE`` sessions apart)
+through two paths:
+
+* ``run_fleet`` — the streaming sinks (should be ~flat);
+* the legacy ``RandomizedTrial`` batch harness, which retains every
+  stream record for post-hoc analysis (grows linearly by design).
+
+and asserts the fleet path's growth stays far below the legacy path's.
+Throughput (sessions/s) is printed alongside so the constant-memory mode
+is visibly not paid for in speed.
+
+Scale knobs (environment variables):
+
+* ``REPRO_FLEET_BENCH_SESSIONS`` — target sessions at the small scale
+  (default 64).
+* ``REPRO_FLEET_BENCH_SCALE`` — multiplier for the large scale (default 4).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_fleet_scale.py -s``.
+"""
+
+import os
+import time
+import tracemalloc
+from dataclasses import replace
+
+import pytest
+
+from repro.abr.bba import BBA
+from repro.abr.mpc import MpcHm
+from repro.experiment.harness import RandomizedTrial
+from repro.experiment.presets import smoke_trial_config
+from repro.experiment.schemes import SchemeSpec
+from repro.fleet import (
+    FleetConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    run_fleet,
+)
+
+BASE_SESSIONS = int(os.environ.get("REPRO_FLEET_BENCH_SESSIONS", "64"))
+SCALE = int(os.environ.get("REPRO_FLEET_BENCH_SCALE", "4"))
+RATE = 200.0  # sessions/hour; days are derived from the session target
+
+
+def fleet_specs():
+    """Classical schemes only, so the bench times session turnover."""
+    return [
+        SchemeSpec(
+            name="bba", control="classical", predictor="n/a",
+            optimization_goal="+SSIM s.t. bitrate < limit",
+            how_trained="n/a", factory=BBA,
+        ),
+        SchemeSpec(
+            name="mpc_hm", control="classical", predictor="classical (HM)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=MpcHm,
+        ),
+    ]
+
+
+def _workload(target_sessions: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        days=target_sessions / (RATE * 24.0),
+        sessions_per_hour=RATE,
+        diurnal_amplitude=0.0,
+        seed=7,
+    )
+
+
+def _measure_fleet(target_sessions: int):
+    """(sessions, peak bytes, wall seconds, dump bytes) for a fleet run."""
+    import json
+
+    workload = _workload(target_sessions)
+    config = FleetConfig(
+        workload=workload,
+        trial=smoke_trial_config(seed=17),
+        chunk_sessions=16,
+    )
+    n = WorkloadGenerator(workload).count()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = run_fleet(fleet_specs(), config, workers=1)
+    wall = time.perf_counter() - start
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert result.completed and result.sink.sessions == n
+    dump_bytes = len(json.dumps(result.to_dump_dict(), sort_keys=True))
+    return n, peak, wall, dump_bytes
+
+
+def _measure_legacy(n_sessions: int):
+    """(peak bytes, wall seconds) for the retain-every-stream harness."""
+    config = replace(smoke_trial_config(seed=17), n_sessions=n_sessions)
+    tracemalloc.start()
+    start = time.perf_counter()
+    trial = RandomizedTrial(fleet_specs(), config).run()
+    wall = time.perf_counter() - start
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert trial is not None  # keep the retained records alive until peak
+    return peak, wall
+
+
+@pytest.fixture(scope="module")
+def scaling_measurements():
+    small = BASE_SESSIONS
+    large = BASE_SESSIONS * SCALE
+    n_small, fleet_small, fleet_small_s, dump_small = _measure_fleet(small)
+    n_large, fleet_large, fleet_large_s, dump_large = _measure_fleet(large)
+    legacy_small, legacy_small_s = _measure_legacy(n_small)
+    legacy_large, legacy_large_s = _measure_legacy(n_large)
+    return {
+        "n_small": n_small, "n_large": n_large,
+        "fleet": (fleet_small, fleet_large, fleet_small_s, fleet_large_s),
+        "legacy": (legacy_small, legacy_large, legacy_small_s,
+                   legacy_large_s),
+        "dumps": (dump_small, dump_large),
+    }
+
+
+class TestFleetScale:
+    def test_fleet_memory_flat_legacy_linear(self, scaling_measurements):
+        m = scaling_measurements
+        n_small, n_large = m["n_small"], m["n_large"]
+        fleet_small, fleet_large, fleet_small_s, fleet_large_s = m["fleet"]
+        legacy_small, legacy_large, legacy_small_s, legacy_large_s = (
+            m["legacy"]
+        )
+        fleet_growth = fleet_large / fleet_small
+        legacy_growth = legacy_large / legacy_small
+        session_growth = n_large / n_small
+        print(
+            f"\npeak traced memory, {n_small} -> {n_large} sessions "
+            f"({session_growth:.1f}x):"
+        )
+        print(
+            f"  fleet  : {fleet_small / 1e6:7.2f} MB -> "
+            f"{fleet_large / 1e6:7.2f} MB  ({fleet_growth:.2f}x)  "
+            f"[{n_small / fleet_small_s:.1f} -> "
+            f"{n_large / fleet_large_s:.1f} sessions/s]"
+        )
+        print(
+            f"  legacy : {legacy_small / 1e6:7.2f} MB -> "
+            f"{legacy_large / 1e6:7.2f} MB  ({legacy_growth:.2f}x)  "
+            f"[{n_small / legacy_small_s:.1f} -> "
+            f"{n_large / legacy_large_s:.1f} sessions/s]"
+        )
+
+        # The tentpole claim: fleet memory is ~independent of run length
+        # (generous headroom so allocator noise never flakes CI), while
+        # the batch harness pays for every retained stream record.
+        assert fleet_growth < 1.6, (
+            f"fleet peak grew {fleet_growth:.2f}x over a "
+            f"{session_growth:.1f}x longer run — not constant-memory"
+        )
+        assert legacy_growth > fleet_growth * 1.25, (
+            "legacy batch path should grow markedly faster than the "
+            f"streaming fleet path ({legacy_growth:.2f}x vs "
+            f"{fleet_growth:.2f}x)"
+        )
+        assert fleet_large < legacy_large, (
+            "at the large scale the streaming path must be cheaper than "
+            "retaining every stream"
+        )
+
+    def test_fleet_dump_size_flat(self, scaling_measurements):
+        """The metrics dump is O(schemes), not O(sessions): both scales
+        serialize to within a small constant factor of each other."""
+        dump_small, dump_large = scaling_measurements["dumps"]
+        print(f"\ndump bytes: {dump_small} -> {dump_large}")
+        assert dump_large < dump_small * 1.5

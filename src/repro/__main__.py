@@ -16,6 +16,13 @@ Commands
     Pretty-print a metrics dump (counters, histogram quantiles, events).
 ``lint``
     Run the AST-based determinism & correctness linter (``repro.lint``).
+``fleet run``
+    Simulate an open-ended deployment (Poisson/diurnal arrivals) at
+    constant memory, with crash-safe checkpoints.
+``fleet resume``
+    Continue a killed or paused fleet run from its checkpoint.
+``fleet report``
+    Print the per-scheme table from a checkpoint or metrics dump.
 """
 
 from __future__ import annotations
@@ -191,6 +198,207 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+# ---------------------------------------------------------------------------
+# fleet: open-ended deployment simulation (repro.fleet)
+# ---------------------------------------------------------------------------
+_FLEET_SCHEME_REGISTRY = ("bba", "mpc_hm", "robust_mpc_hm", "bola")
+
+
+def _fleet_specs(names):
+    """Classical (untrained) scheme registry for fleet runs.
+
+    Fleet runs measure the *deployment machinery* — arrivals, streaming
+    aggregation, checkpoint/resume — so they use cheap classical schemes
+    rather than paying to train learned models first.
+    """
+    from repro.abr import BBA, Bola, MpcHm, RobustMpcHm
+    from repro.experiment.schemes import SchemeSpec
+
+    registry = {
+        "bba": SchemeSpec(
+            name="bba", control="classical", predictor="n/a",
+            optimization_goal="+SSIM s.t. bitrate < limit",
+            how_trained="n/a", factory=BBA,
+        ),
+        "mpc_hm": SchemeSpec(
+            name="mpc_hm", control="classical", predictor="classical (HM)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=MpcHm,
+        ),
+        "robust_mpc_hm": SchemeSpec(
+            name="robust_mpc_hm", control="classical",
+            predictor="classical (HM, conservative)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=RobustMpcHm,
+        ),
+        "bola": SchemeSpec(
+            name="bola", control="classical", predictor="n/a",
+            optimization_goal="+utility (Lyapunov)",
+            how_trained="n/a", factory=Bola,
+        ),
+    }
+    specs = []
+    for name in names:
+        if name not in registry:
+            raise SystemExit(
+                f"unknown scheme {name!r}; choose from "
+                f"{', '.join(sorted(registry))}"
+            )
+        specs.append(registry[name])
+    return specs
+
+
+def _parse_flash_crowd(text: str):
+    """Parse ``START_DAY:DURATION_HOURS:MULTIPLIER`` (e.g. ``2:3:5``)."""
+    from repro.fleet import FlashCrowd
+
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            "flash crowd must be START_DAY:DURATION_HOURS:MULTIPLIER"
+        )
+    return FlashCrowd(
+        start_day=float(parts[0]),
+        duration_hours=float(parts[1]),
+        multiplier=float(parts[2]),
+    )
+
+
+def _fleet_cli_args(args: argparse.Namespace) -> dict:
+    """The run parameters recorded in the checkpoint for ``fleet resume``."""
+    return {
+        "days": args.days,
+        "rate": args.rate,
+        "diurnal_amplitude": args.diurnal_amplitude,
+        "peak_hour": args.peak_hour,
+        "flash_crowds": [
+            [c.start_day, c.duration_hours, c.multiplier]
+            for c in args.flash_crowd
+        ],
+        "seed": args.seed,
+        "trial_seed": args.trial_seed,
+        "schemes": list(args.schemes),
+        "chunk_size": args.chunk_size,
+        "archive_dir": args.archive_dir,
+    }
+
+
+def _fleet_config_from_args(args: argparse.Namespace):
+    from repro.experiment.presets import smoke_trial_config
+    from repro.fleet import FleetConfig, WorkloadConfig
+
+    workload = WorkloadConfig(
+        days=args.days,
+        sessions_per_hour=args.rate,
+        diurnal_amplitude=args.diurnal_amplitude,
+        peak_hour=args.peak_hour,
+        flash_crowds=tuple(args.flash_crowd),
+        seed=args.seed,
+    )
+    trial = smoke_trial_config(seed=args.trial_seed)
+    return _fleet_specs(args.schemes), FleetConfig(
+        workload=workload, trial=trial, chunk_sessions=args.chunk_size
+    )
+
+
+def _run_fleet_from_args(args: argparse.Namespace, resume: bool) -> int:
+    from repro.fleet import run_fleet
+
+    specs, config = _fleet_config_from_args(args)
+    result = run_fleet(
+        specs,
+        config,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=resume,
+        archive_dir=args.archive_dir,
+        stop_after_sessions=args.stop_after,
+        cli_args=_fleet_cli_args(args),
+    )
+    if result.throughput is not None:
+        print(result.throughput.format(), file=sys.stderr)
+    print(result.format_table())
+    if not result.completed:
+        print(
+            f"paused at session {result.next_session_id}; continue with: "
+            f"repro fleet resume --checkpoint {args.checkpoint}",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        result.dump(args.out)
+        print(f"wrote metrics dump to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint")
+    return _run_fleet_from_args(args, resume=args.resume)
+
+
+def _cmd_fleet_resume(args: argparse.Namespace) -> int:
+    from repro.fleet import CheckpointManager, FlashCrowd
+
+    manager = CheckpointManager(args.checkpoint)
+    if not manager.exists():
+        raise SystemExit(f"no checkpoint at {args.checkpoint}")
+    checkpoint = manager.load()
+    if checkpoint.completed and args.out is None:
+        print("checkpointed run is already complete", file=sys.stderr)
+    stored = checkpoint.cli_args
+    if stored is None:
+        raise SystemExit(
+            "checkpoint was written by an API run (no recorded CLI "
+            "parameters); resume it with `repro fleet run --resume` and the "
+            "original flags, or via repro.fleet.run_fleet(resume=True)"
+        )
+    run_args = argparse.Namespace(
+        days=float(stored["days"]),
+        rate=float(stored["rate"]),
+        diurnal_amplitude=float(stored["diurnal_amplitude"]),
+        peak_hour=float(stored["peak_hour"]),
+        flash_crowd=[
+            FlashCrowd(
+                start_day=float(c[0]),
+                duration_hours=float(c[1]),
+                multiplier=float(c[2]),
+            )
+            for c in stored["flash_crowds"]
+        ],
+        seed=int(stored["seed"]),
+        trial_seed=int(stored["trial_seed"]),
+        schemes=list(stored["schemes"]),
+        chunk_size=int(stored["chunk_size"]),
+        archive_dir=stored["archive_dir"],
+        checkpoint=args.checkpoint,
+        workers=args.workers,
+        stop_after=args.stop_after,
+        out=args.out,
+    )
+    return _run_fleet_from_args(run_args, resume=True)
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSink, format_sink_table
+
+    with open(args.file) as f:
+        data = json.load(f)
+    if "sink" not in data:
+        raise SystemExit(
+            f"{args.file}: neither a fleet checkpoint nor a metrics dump "
+            "(no 'sink' key)"
+        )
+    sink = FleetSink.from_dict(data["sink"])
+    kind = "checkpoint" if "fingerprint" in data else "dump"
+    state = "complete" if data.get("completed") else "in progress"
+    print(
+        f"{kind}: next_session_id={data.get('next_session_id')} [{state}]",
+        file=sys.stderr,
+    )
+    print(format_sink_table(sink))
+    return 0
+
+
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
     from repro.obs import format_summary
 
@@ -278,6 +486,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of trailing trace events to show",
     )
     summary.set_defaults(func=_cmd_obs_summary)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="open-ended deployment simulation at constant memory",
+        description=(
+            "Simulate a continuously-operating deployment: seeded "
+            "Poisson/diurnal session arrivals, streaming exact-merge "
+            "aggregation (O(1) memory in run length), and crash-safe "
+            "checkpoints — the metrics dump is byte-identical at any "
+            "worker count and across kill/resume."
+        ),
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run a deployment simulation"
+    )
+    fleet_run.add_argument(
+        "--days", type=float, default=1.0,
+        help="simulated calendar days of arrivals",
+    )
+    fleet_run.add_argument(
+        "--rate", type=float, default=60.0,
+        help="mean session arrivals per hour",
+    )
+    fleet_run.add_argument(
+        "--diurnal-amplitude", type=float, default=0.6,
+        help="relative depth of the day/night cycle in [0, 1]",
+    )
+    fleet_run.add_argument(
+        "--peak-hour", type=float, default=20.0,
+        help="hour of day (0-24) at which arrivals peak",
+    )
+    fleet_run.add_argument(
+        "--flash-crowd", type=_parse_flash_crowd, action="append",
+        default=[], metavar="DAY:HOURS:MULT",
+        help="add a flash crowd (start day : duration hours : rate "
+        "multiplier); repeatable",
+    )
+    fleet_run.add_argument(
+        "--seed", type=int, default=0, help="workload (arrival) seed"
+    )
+    fleet_run.add_argument(
+        "--trial-seed", type=int, default=0,
+        help="per-session simulation seed",
+    )
+    fleet_run.add_argument(
+        "--schemes", nargs="+", default=["bba", "mpc_hm"],
+        choices=list(_FLEET_SCHEME_REGISTRY),
+        help="classical schemes to randomize between",
+    )
+    fleet_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (the dump is byte-identical at any count)",
+    )
+    fleet_run.add_argument(
+        "--chunk-size", type=int, default=16,
+        help="sessions per commit/checkpoint (does not affect results)",
+    )
+    fleet_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="crash-safe checkpoint file (enables kill + resume)",
+    )
+    fleet_run.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
+    fleet_run.add_argument(
+        "--archive-dir", default=None, metavar="DIR",
+        help="stream the Appendix-B open-data CSV archive here",
+    )
+    fleet_run.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="pause once N sessions are committed (resume later)",
+    )
+    fleet_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical metrics dump JSON here",
+    )
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_resume = fleet_sub.add_parser(
+        "resume",
+        help="continue a killed/paused run from its checkpoint",
+    )
+    fleet_resume.add_argument("--checkpoint", required=True, metavar="PATH")
+    fleet_resume.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the continuation (any count reproduces "
+        "the same dump)",
+    )
+    fleet_resume.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="pause again once N total sessions are committed",
+    )
+    fleet_resume.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical metrics dump JSON here",
+    )
+    fleet_resume.set_defaults(func=_cmd_fleet_resume)
+
+    fleet_report = fleet_sub.add_parser(
+        "report",
+        help="print the per-scheme table from a checkpoint or dump",
+    )
+    fleet_report.add_argument("file")
+    fleet_report.set_defaults(func=_cmd_fleet_report)
 
     lint = sub.add_parser(
         "lint",

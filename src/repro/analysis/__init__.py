@@ -30,7 +30,9 @@ from repro.analysis.figures import all_figures
 from repro.analysis.plotting import ccdf_plot, scatter_plot
 from repro.analysis.qoe_metrics import mean_qoe, qoe_lin, ssim_qoe, stream_qoe
 from repro.analysis.summary import (
+    ListAggregator,
     SchemeSummary,
+    StreamAggregator,
     results_table,
     split_slow_paths,
     summarize_scheme,
@@ -47,6 +49,8 @@ __all__ = [
     "ccdf",
     "stream_years",
     "SchemeSummary",
+    "StreamAggregator",
+    "ListAggregator",
     "summarize_scheme",
     "split_slow_paths",
     "results_table",

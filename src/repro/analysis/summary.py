@@ -5,10 +5,20 @@ Aggregation follows §3.4: the stall ratio is total-stalled over total-watch
 (weighted-standard-error CI); SSIM variation is the duration-weighted mean
 of each stream's chunk-to-chunk |ΔSSIM|; mean duration is the session-level
 time on site.
+
+Two aggregation paths produce a :class:`SchemeSummary` through one
+interface (:class:`StreamAggregator`):
+
+* :class:`ListAggregator` — the exact, list-backed path (bootstrap CIs),
+  behind the original :func:`summarize_scheme` API, now a thin adapter;
+* :class:`repro.fleet.sinks.StreamingSchemeSink` — the O(1)-memory fleet
+  path (exactly-merging sketches, normal-approximation CIs) for open-ended
+  deployment runs where materializing every stream is not an option.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -45,6 +55,97 @@ class SchemeSummary:
         return self.stall_ratio.point * 100.0
 
 
+class StreamAggregator(ABC):
+    """One scheme's summary accumulator.
+
+    The contract both the batch path and the fleet's streaming sinks
+    implement: feed *eligible* streams (the caller applies the CONSORT
+    primary-analysis filter) and optionally session durations, then ask for
+    the Fig. 1 row.  Implementations differ in what they retain —
+    :class:`ListAggregator` keeps every stream (exact statistics, bootstrap
+    CIs); the fleet's sinks keep O(1) sketches.
+    """
+
+    scheme: str
+
+    @abstractmethod
+    def observe_stream(self, stream: StreamResult) -> None:
+        """Fold one eligible stream into the aggregate."""
+
+    @abstractmethod
+    def observe_session_duration(self, duration_s: float) -> None:
+        """Fold one session's total time on site (Fig. 10's unit)."""
+
+    @abstractmethod
+    def summary(self) -> SchemeSummary:
+        """The scheme's Fig. 1 row from everything observed so far."""
+
+
+class ListAggregator(StreamAggregator):
+    """Exact aggregation: retains every stream, computes the paper's
+    bootstrap/weighted-SE intervals — the original ``summarize_scheme``
+    semantics, unchanged."""
+
+    def __init__(
+        self, scheme: str, n_resamples: int = 1000, seed: int = 0
+    ) -> None:
+        self.scheme = scheme
+        self.n_resamples = n_resamples
+        self.seed = seed
+        self.streams: List[StreamResult] = []
+        self.session_durations: List[float] = []
+
+    def observe_stream(self, stream: StreamResult) -> None:
+        self.streams.append(stream)
+
+    def observe_session_duration(self, duration_s: float) -> None:
+        self.session_durations.append(float(duration_s))
+
+    def summary(self) -> SchemeSummary:
+        streams = self.streams
+        if not streams:
+            raise ValueError(f"no eligible streams for scheme {self.scheme!r}")
+        watch = np.array([s.watch_time for s in streams])
+        ssim = np.array([s.mean_ssim_db for s in streams])
+        variation = np.array([s.ssim_variation_db for s in streams])
+        valid = ~np.isnan(ssim)
+        startup = [
+            s.startup_delay for s in streams if s.startup_delay is not None
+        ]
+        first_ssim = np.array(
+            [s.first_chunk_ssim_db for s in streams if s.records]
+        )
+        duration_ci = None
+        if len(self.session_durations) >= 2:
+            duration_ci = bootstrap_mean_ci(
+                self.session_durations,
+                n_resamples=self.n_resamples,
+                seed=self.seed,
+            )
+        return SchemeSummary(
+            scheme=self.scheme,
+            n_streams=len(streams),
+            stream_years=stream_years(float(watch.sum())),
+            stall_ratio=bootstrap_stall_ratio_ci(
+                streams, n_resamples=self.n_resamples, seed=self.seed
+            ),
+            mean_ssim_db=weighted_mean_ci(ssim[valid], watch[valid]),
+            ssim_variation_db=weighted_mean(variation[valid], watch[valid]),
+            mean_bitrate_bps=weighted_mean(
+                np.array([s.mean_bitrate_bps for s in streams])[valid],
+                watch[valid],
+            ),
+            mean_session_duration_s=duration_ci,
+            startup_delay_s=float(np.mean(startup)) if startup else float("nan"),
+            first_chunk_ssim_db=(
+                float(np.mean(first_ssim)) if len(first_ssim) else float("nan")
+            ),
+            fraction_streams_with_stall=float(
+                np.mean([s.had_stall for s in streams])
+            ),
+        )
+
+
 def summarize_scheme(
     scheme: str,
     streams: Sequence[StreamResult],
@@ -53,43 +154,19 @@ def summarize_scheme(
     seed: int = 0,
 ) -> SchemeSummary:
     """Aggregate eligible streams (and optionally session durations) into a
-    Fig. 1 row."""
-    if not streams:
-        raise ValueError(f"no eligible streams for scheme {scheme!r}")
-    watch = np.array([s.watch_time for s in streams])
-    ssim = np.array([s.mean_ssim_db for s in streams])
-    variation = np.array([s.ssim_variation_db for s in streams])
-    valid = ~np.isnan(ssim)
-    startup = [s.startup_delay for s in streams if s.startup_delay is not None]
-    first_ssim = np.array(
-        [s.first_chunk_ssim_db for s in streams if s.records]
-    )
-    duration_ci = None
-    if session_durations is not None and len(session_durations) >= 2:
-        duration_ci = bootstrap_mean_ci(
-            session_durations, n_resamples=n_resamples, seed=seed
-        )
-    return SchemeSummary(
-        scheme=scheme,
-        n_streams=len(streams),
-        stream_years=stream_years(float(watch.sum())),
-        stall_ratio=bootstrap_stall_ratio_ci(
-            streams, n_resamples=n_resamples, seed=seed
-        ),
-        mean_ssim_db=weighted_mean_ci(ssim[valid], watch[valid]),
-        ssim_variation_db=weighted_mean(variation[valid], watch[valid]),
-        mean_bitrate_bps=weighted_mean(
-            np.array([s.mean_bitrate_bps for s in streams])[valid], watch[valid]
-        ),
-        mean_session_duration_s=duration_ci,
-        startup_delay_s=float(np.mean(startup)) if startup else float("nan"),
-        first_chunk_ssim_db=(
-            float(np.mean(first_ssim)) if len(first_ssim) else float("nan")
-        ),
-        fraction_streams_with_stall=float(
-            np.mean([s.had_stall for s in streams])
-        ),
-    )
+    Fig. 1 row.
+
+    Thin adapter over :class:`ListAggregator`, kept so existing callers and
+    benchmarks are unchanged; the fleet's streaming sinks implement the
+    same :class:`StreamAggregator` interface at O(1) memory.
+    """
+    aggregator = ListAggregator(scheme, n_resamples=n_resamples, seed=seed)
+    for stream in streams:
+        aggregator.observe_stream(stream)
+    if session_durations is not None:
+        for duration in session_durations:
+            aggregator.observe_session_duration(duration)
+    return aggregator.summary()
 
 
 def split_slow_paths(

@@ -8,6 +8,7 @@ against the same interchange format a consumer of the real archive uses.
 """
 
 from repro.data.archive import (
+    ArchiveAppender,
     ArchiveDay,
     load_archive_day,
     reconstruct_streams,
@@ -15,6 +16,7 @@ from repro.data.archive import (
 )
 
 __all__ = [
+    "ArchiveAppender",
     "ArchiveDay",
     "write_archive_day",
     "load_archive_day",

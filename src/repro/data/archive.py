@@ -19,9 +19,10 @@ accounting.
 from __future__ import annotations
 
 import csv
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.streaming.telemetry import (
     BufferEvent,
@@ -87,6 +88,105 @@ def write_archive_day(
             writer.writerow(record.to_dict())
 
     return day
+
+
+class ArchiveAppender:
+    """Incremental (open-once) writer for the three archive tables.
+
+    Batch runs buffer a full :class:`TelemetryLog` and call
+    :func:`write_archive_day` at the end; an open-ended fleet run cannot —
+    that buffer grows without bound.  The appender keeps each CSV open,
+    appends rows as sessions commit, and flushes per commit, so the daily
+    open-data archive streams to disk at O(1) memory.
+
+    Crash-safe cooperation with the fleet checkpoint: :meth:`offsets`
+    reports the current byte position of every table (after a flush), the
+    checkpoint records those positions, and on resume
+    :meth:`truncate_to` discards any rows appended after the last durable
+    checkpoint — so the archive never contains rows from uncommitted
+    sessions, and a killed+resumed run produces byte-identical CSVs.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.day = ArchiveDay.in_directory(directory)
+        self.day.directory.mkdir(parents=True, exist_ok=True)
+        self._files = {}
+        self._writers = {}
+        for name, path, columns in self._tables():
+            fresh = not path.exists() or path.stat().st_size == 0
+            f = open(path, "a", newline="")
+            # Append mode leaves the reported position implementation-
+            # defined until the first write; pin it to the end so
+            # ``offsets()`` is meaningful before any append.
+            f.seek(0, os.SEEK_END)
+            self._files[name] = f
+            writer = csv.DictWriter(f, fieldnames=columns)
+            self._writers[name] = writer
+            if fresh:
+                writer.writeheader()
+        self.flush()
+
+    def _tables(self) -> List[Tuple[str, Path, List[str]]]:
+        return [
+            ("video_sent", self.day.video_sent, _SENT_COLUMNS),
+            ("video_acked", self.day.video_acked, _ACKED_COLUMNS),
+            ("client_buffer", self.day.client_buffer, _BUFFER_COLUMNS),
+        ]
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, telemetry: TelemetryLog) -> None:
+        """Append one batch of rows (typically one committed session)."""
+        for record in telemetry.video_sent:
+            self._writers["video_sent"].writerow(record.to_dict())
+        for record in telemetry.video_acked:
+            self._writers["video_acked"].writerow(record.to_dict())
+        for record in telemetry.client_buffer:
+            self._writers["client_buffer"].writerow(record.to_dict())
+
+    def flush(self, sync: bool = False) -> None:
+        """Flush buffered rows; ``sync=True`` additionally fsyncs (called
+        before a checkpoint records the offsets as durable)."""
+        for _, f in sorted(self._files.items()):
+            f.flush()
+            if sync:
+                os.fsync(f.fileno())
+
+    def offsets(self) -> Dict[str, int]:
+        """Current byte position of every table (flushes first)."""
+        self.flush()
+        return {
+            name: self._files[name].tell()
+            for name in sorted(self._files)
+        }
+
+    # ------------------------------------------------------------------
+    # Resume support
+    # ------------------------------------------------------------------
+    def truncate_to(self, offsets: Dict[str, int]) -> None:
+        """Discard everything after ``offsets`` (rows from sessions that
+        were appended but never checkpointed before a crash)."""
+        for name in sorted(self._files):
+            if name not in offsets:
+                raise ValueError(f"no stored offset for table {name!r}")
+            f = self._files[name]
+            f.flush()
+            f.truncate(int(offsets[name]))
+            f.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        for _, f in sorted(self._files.items()):
+            f.flush()
+            f.close()
+        self._files = {}
+        self._writers = {}
+
+    def __enter__(self) -> "ArchiveAppender":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def _require_columns(path: Path, header: List[str], expected: List[str]) -> None:
@@ -178,7 +278,22 @@ class ArchivedStream:
 
 
 def reconstruct_streams(telemetry: TelemetryLog) -> Dict[int, ArchivedStream]:
-    """The analyst's join: sent ⋈ acked per stream, plus stall totals."""
+    """The analyst's join: sent ⋈ acked per stream, plus stall totals.
+
+    Robust to the row-ordering hazards of a streamed (or sharded) archive,
+    where tables are appended per committed session and a real deployment's
+    collectors may interleave or drop rows:
+
+    * ``video_acked`` rows may arrive in any order — the join keys on
+      ``(stream_id, chunk_index)``, and the result is independent of row
+      order;
+    * duplicate acks for one chunk keep the **earliest** ack time (the
+      first complete delivery; retransmitted acks don't shrink the
+      measured transmission time);
+    * acks whose matching ``video_sent`` row is missing, or which are
+      timestamped *before* their send (clock skew / corruption), are
+      dropped rather than producing negative transmission times.
+    """
     sent_by_key: Dict[Tuple[int, int], VideoSentRecord] = {}
     expt_by_stream: Dict[int, int] = {}
     for record in telemetry.video_sent:
@@ -203,10 +318,14 @@ def reconstruct_streams(telemetry: TelemetryLog) -> Dict[int, ArchivedStream]:
         sent = sent_by_key.get((acked.stream_id, acked.chunk_index))
         if sent is None:
             continue  # chunk never fully delivered before the viewer left
+        transmission = acked.time - sent.time
+        if transmission < 0:
+            continue  # misordered/corrupt row: acked before it was sent
         stream = stream_for(acked.stream_id)
-        stream.chunk_transmission_times[acked.chunk_index] = (
-            acked.time - sent.time
-        )
+        previous = stream.chunk_transmission_times.get(acked.chunk_index)
+        if previous is not None and previous <= transmission:
+            continue  # duplicate ack: keep the earliest complete delivery
+        stream.chunk_transmission_times[acked.chunk_index] = transmission
         stream.chunk_sizes[acked.chunk_index] = sent.size
         stream.chunk_ssim_indices[acked.chunk_index] = sent.ssim_index
 

@@ -1,0 +1,545 @@
+"""The fleet driver: open-ended deployment runs at constant memory.
+
+Composes the other three fleet pieces with the existing trial machinery:
+
+* sessions come from the :mod:`repro.fleet.workload` arrival process;
+* each session is simulated by the **pure**
+  :func:`repro.experiment.harness.run_session` of PR 1 (every draw keyed on
+  ``(seed, session_id)``), so the fleet inherits the trial's independence
+  and embarrassing parallelism;
+* per-chunk results are folded into :class:`repro.fleet.sinks.FleetSink`
+  deltas *in the worker* and discarded — only O(chunk) state ever exists;
+* the driver commits chunks in session-id order, streams telemetry to the
+  open-data archive (optional), and checkpoints after every commit
+  (:mod:`repro.fleet.checkpoint`).
+
+Parallel execution follows :mod:`repro.experiment.parallel`: chunks are
+contiguous session-id ranges executed on a forked process pool (per-worker
+scheme instances, fork-inherited payload), consumed via ordered ``imap`` so
+commits stream instead of materializing every result.  Because sink merging
+is exact (integer arithmetic), the final dump is byte-identical at any
+worker count, any chunk size, and across kill/resume at any point.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.abr.base import AbrAlgorithm
+from repro.analysis.bootstrap import ConfidenceInterval
+from repro.analysis.summary import SchemeSummary
+from repro.data.archive import ArchiveAppender
+from repro.experiment.consort import classify_stream
+from repro.experiment.harness import (
+    SessionShard,
+    TrialConfig,
+    assign_expt_ids,
+    run_session,
+)
+from repro.experiment.schemes import SchemeSpec
+from repro.fleet.checkpoint import (
+    CheckpointManager,
+    FleetCheckpoint,
+    config_fingerprint,
+)
+from repro.fleet.sinks import FleetSink
+from repro.fleet.workload import (
+    SessionArrival,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+from repro.streaming.telemetry import TelemetryLog
+
+DUMP_SCHEMA_VERSION = 1
+"""Version of the ``repro fleet`` metrics-dump JSON layout."""
+
+DEFAULT_CHUNK_SESSIONS = 16
+"""Sessions per commit/checkpoint unit.  Grouping is irrelevant to the
+result (sink merging is exact); this only trades checkpoint frequency
+against pool overhead."""
+
+_AbrCache = Dict[str, AbrAlgorithm]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One deployment simulation: offered load + per-session environment."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    trial: TrialConfig = field(default_factory=TrialConfig)
+    """Per-session knobs (seed, population, viewer, channels, probabilities).
+    ``trial.n_sessions`` is ignored — the workload decides how many sessions
+    arrive."""
+
+    chunk_sessions: int = DEFAULT_CHUNK_SESSIONS
+    """Sessions per commit (and per checkpoint).  Not part of the
+    fingerprint: any cadence reproduces the same dump."""
+
+    def __post_init__(self) -> None:
+        if self.chunk_sessions < 1:
+            raise ValueError("chunk_sessions must be >= 1")
+
+    def fingerprint(self, specs: Sequence[SchemeSpec]) -> str:
+        """Configuration identity for checkpoint compatibility.
+
+        Covers everything that changes the science: the workload, the
+        per-session trial knobs (including the viewer/population models,
+        via their stable dataclass reprs), and the scheme set.  Excludes
+        pure execution knobs (workers, chunk size, checkpoint cadence).
+        """
+        trial = self.trial
+        trial_knobs = {
+            "seed": trial.seed,
+            "population": repr(trial.population),
+            "viewer": repr(trial.viewer),
+            "channels": [c.name for c in trial.channels],
+            "extra_stream_prob": trial.extra_stream_prob,
+            "max_streams_per_session": trial.max_streams_per_session,
+            "slow_decoder_prob": trial.slow_decoder_prob,
+            "loss_of_contact_prob": trial.loss_of_contact_prob,
+        }
+        return config_fingerprint(
+            self.workload.to_dict(),
+            trial_knobs,
+            [spec.name for spec in specs],
+        )
+
+
+@dataclass(frozen=True)
+class FleetThroughput:
+    """Wall-clock accounting for one fleet run (never enters the dump)."""
+
+    mode: str
+    workers: int
+    sessions: int
+    streams: int
+    wall_s: float
+    commits: int
+    checkpoints: int
+
+    @property
+    def sessions_per_s(self) -> float:
+        return self.sessions / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def format(self) -> str:
+        return (
+            f"fleet throughput: {self.sessions} sessions "
+            f"({self.streams} streams) in {self.wall_s:.2f}s "
+            f"= {self.sessions_per_s:.1f} sessions/s "
+            f"[{self.mode}, workers={self.workers}, commits={self.commits}, "
+            f"checkpoints={self.checkpoints}]"
+        )
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a fleet run (possibly a paused partial run)."""
+
+    sink: FleetSink
+    config: FleetConfig
+    scheme_names: List[str]
+    next_session_id: int
+    completed: bool
+    throughput: Optional[FleetThroughput] = None
+    checkpoint_path: Optional[str] = None
+    archive_dir: Optional[str] = None
+    dump_path: Optional[str] = None
+
+    def summaries(self) -> List[SchemeSummary]:
+        return self.sink.summaries()
+
+    def to_dump_dict(self) -> dict:
+        """The canonical metrics dump (the byte-identity surface).
+
+        Contains only deterministic state: the configuration, the exact
+        sink state, and summary statistics derived from it.  Wall-clock
+        throughput is deliberately excluded.
+        """
+        summaries = {}
+        for summary in self.summaries():
+            duration = summary.mean_session_duration_s
+            summaries[summary.scheme] = {
+                "n_streams": summary.n_streams,
+                "stream_years": summary.stream_years,
+                "stall_ratio": _ci_dict(summary.stall_ratio),
+                "mean_ssim_db": _ci_dict(summary.mean_ssim_db),
+                "ssim_variation_db": summary.ssim_variation_db,
+                "mean_bitrate_bps": summary.mean_bitrate_bps,
+                "mean_session_duration_s": (
+                    _ci_dict(duration) if duration is not None else None
+                ),
+                "startup_delay_s": summary.startup_delay_s,
+                "first_chunk_ssim_db": summary.first_chunk_ssim_db,
+                "fraction_streams_with_stall": (
+                    summary.fraction_streams_with_stall
+                ),
+            }
+        return {
+            "schema_version": DUMP_SCHEMA_VERSION,
+            "workload": self.config.workload.to_dict(),
+            "trial_seed": self.config.trial.seed,
+            "scheme_names": list(self.scheme_names),
+            "next_session_id": self.next_session_id,
+            "completed": self.completed,
+            "sink": self.sink.to_dict(),
+            "summaries": summaries,
+        }
+
+    def dump(self, path: str) -> str:
+        """Write the canonical metrics dump (sorted keys, 2-space indent)."""
+        with open(path, "w") as f:
+            json.dump(self.to_dump_dict(), f, sort_keys=True, indent=2)
+            f.write("\n")
+        self.dump_path = path
+        return path
+
+    def format_table(self) -> str:
+        """Human-readable per-scheme table (the ``repro fleet`` CLI)."""
+        return format_sink_table(self.sink)
+
+
+def format_sink_table(sink: FleetSink) -> str:
+    """Per-scheme table for any :class:`FleetSink` (result, checkpoint,
+    or metrics dump — ``repro fleet report`` prints all three)."""
+    lines = [
+        f"{'Scheme':<15}{'Stall %':>9}{'SSIM dB':>9}{'N':>8}"
+        f"{'Str-years':>11}"
+    ]
+    for summary in sink.summaries():
+        lines.append(
+            f"{summary.scheme:<15}{summary.stall_percent:>9.3f}"
+            f"{summary.mean_ssim_db.point:>9.2f}{summary.n_streams:>8}"
+            f"{summary.stream_years:>11.4f}"
+        )
+    days = ", ".join(
+        f"d{day}:{sink.sessions_by_day[day]}"
+        for day in sorted(sink.sessions_by_day)
+    )
+    lines.append(
+        f"sessions={sink.sessions} streams={sink.streams} "
+        f"watch={sink.stream_years:.4f} stream-years "
+        f"[{days or 'no sessions'}]"
+    )
+    return "\n".join(lines)
+
+
+def _ci_dict(ci: ConfidenceInterval) -> dict:
+    return {
+        "point": ci.point,
+        "low": ci.low,
+        "high": ci.high,
+        "confidence": ci.confidence,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Chunk execution (shared by the serial loop and the pool workers).
+# ---------------------------------------------------------------------------
+@dataclass
+class _FleetChunk:
+    """One committed unit: the chunk's exact sink delta and its telemetry."""
+
+    first_session_id: int
+    last_session_id: int
+    delta: FleetSink
+    telemetry: Optional[TelemetryLog]
+    n_streams: int
+    busy_s: float
+
+
+def _fold_session(
+    delta: FleetSink, shard: SessionShard, arrival: SessionArrival
+) -> int:
+    """Fold one finished session into a sink delta; returns stream count.
+
+    This is where stream results die: after folding, nothing retains them,
+    which is what makes fleet memory independent of run length.
+    """
+    session = shard.session
+    delta.sessions += 1
+    delta.streams += len(session.streams)
+    day = arrival.day
+    delta.sessions_by_day[day] = delta.sessions_by_day.get(day, 0) + 1
+    delta.arrivals_by_hour[int(arrival.hour_of_day) % 24] += 1
+    scheme_sink = delta.scheme(session.scheme)
+    arm = shard.consort.arms[session.scheme]
+    scheme_sink.observe_exclusions(
+        streams_assigned=arm.streams_assigned,
+        did_not_begin=arm.did_not_begin,
+        watch_time_under_4s=arm.watch_time_under_4s,
+        slow_video_decoder=arm.slow_video_decoder,
+        truncated_loss_of_contact=arm.truncated_loss_of_contact,
+    )
+    scheme_sink.observe_session_duration(session.duration)
+    for stream in session.streams:
+        delta.sim_watch_s.add(stream.watch_time)
+        if classify_stream(stream) == "considered":
+            scheme_sink.observe_stream(stream)
+    return len(session.streams)
+
+
+def _simulate_chunk(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    expt_ids: Dict[str, int],
+    algorithms: _AbrCache,
+    items: Sequence[Tuple[int, float]],
+) -> _FleetChunk:
+    """Simulate a contiguous chunk of arrivals into one exact sink delta."""
+    delta = FleetSink()
+    telemetry = TelemetryLog() if config.collect_telemetry else None
+    n_streams = 0
+    # repro: allow-DET002(per-chunk busy-time report; never enters results)
+    start = time.perf_counter()
+    for session_id, time_s in items:
+        shard = run_session(specs, config, session_id, expt_ids, algorithms)
+        n_streams += _fold_session(
+            delta, shard, SessionArrival(session_id=session_id, time_s=time_s)
+        )
+        if telemetry is not None and shard.telemetry is not None:
+            telemetry.extend(shard.telemetry)
+    return _FleetChunk(
+        first_session_id=items[0][0],
+        last_session_id=items[-1][0],
+        delta=delta,
+        telemetry=telemetry,
+        n_streams=n_streams,
+        # repro: allow-DET002(per-chunk busy-time report; never enters results)
+        busy_s=time.perf_counter() - start,
+    )
+
+
+# Worker-side state: fork-inherited payload plus a lazily-built per-process
+# scheme-instance cache (instances are never shared across processes).
+_FLEET_PAYLOAD: Optional[
+    Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]]
+] = None
+_FLEET_ALGORITHMS: Optional[_AbrCache] = None
+
+
+def _run_fleet_chunk(items: Sequence[Tuple[int, float]]) -> _FleetChunk:
+    global _FLEET_ALGORITHMS
+    if _FLEET_PAYLOAD is None:
+        raise RuntimeError("fleet worker payload missing (pool misconfigured)")
+    specs, config, expt_ids = _FLEET_PAYLOAD
+    if _FLEET_ALGORITHMS is None:
+        _FLEET_ALGORITHMS = {spec.name: spec.build() for spec in specs}
+    return _simulate_chunk(specs, config, expt_ids, _FLEET_ALGORITHMS, items)
+
+
+def _chunked(
+    arrivals: Iterator[SessionArrival], size: int
+) -> Iterator[List[Tuple[int, float]]]:
+    """Group consecutive arrivals into commit-sized chunks."""
+    chunk: List[Tuple[int, float]] = []
+    for arrival in arrivals:
+        chunk.append((arrival.session_id, arrival.time_s))
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+# ---------------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------------
+def run_fleet(
+    specs: Sequence[SchemeSpec],
+    config: FleetConfig,
+    workers: int = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    archive_dir: Optional[str] = None,
+    stop_after_sessions: Optional[int] = None,
+    cli_args: Optional[dict] = None,
+    on_commit: Optional[Callable[[int, FleetSink], None]] = None,
+) -> FleetResult:
+    """Run (or resume) a deployment simulation.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs chunks in-process; ``N > 1`` shards them across a forked
+        pool, streaming results back in session-id order.  The dump is
+        byte-identical either way.
+    checkpoint_path:
+        Where to keep the crash-safe checkpoint.  With ``resume=True`` an
+        existing checkpoint (same configuration fingerprint) is continued;
+        a missing checkpoint starts fresh.
+    archive_dir:
+        Stream the open-data archive (Appendix B CSVs) here incrementally;
+        on resume, files are truncated back to the last durable commit.
+    stop_after_sessions:
+        Pause the run once at least this many sessions (across all commits,
+        including resumed state) have been committed — an operational
+        budget; the returned result has ``completed=False`` and the run can
+        be resumed later.
+    cli_args:
+        Recorded verbatim in the checkpoint so ``repro fleet resume`` can
+        reconstruct the configuration without retyping it.
+    on_commit:
+        Called after every committed chunk with ``(next_session_id, sink)``
+        — progress reporting hook.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one scheme")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("scheme names must be unique")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if stop_after_sessions is not None and stop_after_sessions < 1:
+        raise ValueError("stop_after_sessions must be >= 1")
+
+    fingerprint = config.fingerprint(specs)
+    trial = replace(
+        config.trial,
+        n_sessions=1,  # unused by run_session; workload decides scale
+        collect_telemetry=archive_dir is not None,
+    )
+    expt_ids = assign_expt_ids(specs, trial.seed)
+
+    manager = (
+        CheckpointManager(checkpoint_path)
+        if checkpoint_path is not None
+        else None
+    )
+    sink = FleetSink()
+    next_session_id = 0
+    stored_offsets: Optional[Dict[str, int]] = None
+    if resume and manager is not None and manager.exists():
+        checkpoint = manager.load(expected_fingerprint=fingerprint)
+        sink = checkpoint.sink
+        next_session_id = checkpoint.next_session_id
+        stored_offsets = checkpoint.archive_offsets
+
+    appender: Optional[ArchiveAppender] = None
+    if archive_dir is not None:
+        appender = ArchiveAppender(archive_dir)
+        if stored_offsets is not None:
+            # Roll the streamed archive back to the last durable commit:
+            # rows appended after the surviving checkpoint belong to
+            # sessions that will be re-simulated.
+            appender.truncate_to(stored_offsets)
+
+    def save_checkpoint(completed: bool) -> None:
+        if manager is None:
+            return
+        offsets = None
+        if appender is not None:
+            appender.flush(sync=True)
+            offsets = appender.offsets()
+        manager.save(
+            FleetCheckpoint(
+                fingerprint=fingerprint,
+                next_session_id=next_session_id,
+                sink=sink,
+                archive_offsets=offsets,
+                cli_args=cli_args,
+                completed=completed,
+            )
+        )
+
+    generator = WorkloadGenerator(config.workload)
+    chunks = _chunked(
+        generator.arrivals(start_session_id=next_session_id),
+        config.chunk_sessions,
+    )
+
+    commits = 0
+    streams_this_run = 0
+    sessions_this_run = 0
+    stopped = False
+    # repro: allow-DET002(throughput report timing; never enters results)
+    start_wall = time.perf_counter()
+
+    def commit(chunk_result: _FleetChunk) -> None:
+        nonlocal next_session_id, commits, streams_this_run, sessions_this_run
+        sink.merge(chunk_result.delta)
+        if appender is not None and chunk_result.telemetry is not None:
+            appender.append(chunk_result.telemetry)
+        next_session_id = chunk_result.last_session_id + 1
+        commits += 1
+        sessions_this_run += chunk_result.delta.sessions
+        streams_this_run += chunk_result.n_streams
+        save_checkpoint(completed=False)
+        if obs.ENABLED:
+            obs.counter_inc("fleet.commits")
+            obs.counter_inc("fleet.sessions", float(chunk_result.delta.sessions))
+        if on_commit is not None:
+            on_commit(next_session_id, sink)
+
+    def should_stop() -> bool:
+        return (
+            stop_after_sessions is not None
+            and next_session_id >= stop_after_sessions
+        )
+
+    mode = "serial"
+    ctx: Optional[multiprocessing.context.BaseContext] = None
+    if workers > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+            mode = "fork"
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = None
+            mode = "serial"
+
+    if mode == "fork" and ctx is not None:
+        global _FLEET_PAYLOAD
+        _FLEET_PAYLOAD = (specs, trial, expt_ids)
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                # Ordered imap: chunk results stream back in session-id
+                # order and are merged + discarded one at a time.
+                for chunk_result in pool.imap(
+                    _run_fleet_chunk, chunks, chunksize=1
+                ):
+                    commit(chunk_result)
+                    if should_stop():
+                        stopped = True
+                        pool.terminate()
+                        break
+        finally:
+            _FLEET_PAYLOAD = None
+    else:
+        algorithms: _AbrCache = {spec.name: spec.build() for spec in specs}
+        for items in chunks:
+            commit(_simulate_chunk(specs, trial, expt_ids, algorithms, items))
+            if should_stop():
+                stopped = True
+                break
+
+    completed = not stopped
+    save_checkpoint(completed=completed)
+    if appender is not None:
+        appender.close()
+    # repro: allow-DET002(throughput report timing; never enters results)
+    wall = time.perf_counter() - start_wall
+
+    return FleetResult(
+        sink=sink,
+        config=config,
+        scheme_names=names,
+        next_session_id=next_session_id,
+        completed=completed,
+        throughput=FleetThroughput(
+            mode=mode if workers > 1 else "serial",
+            workers=workers,
+            sessions=sessions_this_run,
+            streams=streams_this_run,
+            wall_s=wall,
+            commits=commits,
+            checkpoints=manager.saves if manager is not None else 0,
+        ),
+        checkpoint_path=checkpoint_path,
+        archive_dir=archive_dir,
+    )

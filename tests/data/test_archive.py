@@ -114,3 +114,171 @@ class TestReconstruction:
             assert set(a) == set(b)
             for chunk in a:
                 assert a[chunk] == pytest.approx(b[chunk])
+
+
+class TestArchiveAppender:
+    """Incremental (open-once) writing must reproduce the batch writer's
+    bytes, and offsets/truncation must roll back uncommitted rows."""
+
+    def _halves(self, telemetry):
+        first, second = TelemetryLog(), TelemetryLog()
+        for source, sinks in (
+            (telemetry.video_sent, (first.video_sent, second.video_sent)),
+            (telemetry.video_acked, (first.video_acked, second.video_acked)),
+            (
+                telemetry.client_buffer,
+                (first.client_buffer, second.client_buffer),
+            ),
+        ):
+            half = len(source) // 2
+            sinks[0].extend(source[:half])
+            sinks[1].extend(source[half:])
+        return first, second
+
+    def test_appending_matches_batch_writer(self, telemetry, tmp_path):
+        from repro.data import ArchiveAppender
+
+        batch_dir = tmp_path / "batch"
+        stream_dir = tmp_path / "stream"
+        day = write_archive_day(telemetry, batch_dir)
+        first, second = self._halves(telemetry)
+        with ArchiveAppender(stream_dir) as appender:
+            appender.append(first)
+            appender.flush()
+            appender.append(second)
+        streamed = ArchiveDay.in_directory(stream_dir)
+        assert streamed.video_sent.read_bytes() == day.video_sent.read_bytes()
+        assert (
+            streamed.video_acked.read_bytes() == day.video_acked.read_bytes()
+        )
+        assert (
+            streamed.client_buffer.read_bytes()
+            == day.client_buffer.read_bytes()
+        )
+
+    def test_reopen_appends_without_duplicate_header(
+        self, telemetry, tmp_path
+    ):
+        from repro.data import ArchiveAppender
+
+        first, second = self._halves(telemetry)
+        with ArchiveAppender(tmp_path) as appender:
+            appender.append(first)
+        with ArchiveAppender(tmp_path) as appender:
+            appender.append(second)
+        loaded = load_archive_day(tmp_path)
+        assert len(loaded.video_sent) == len(telemetry.video_sent)
+        header = ArchiveDay.in_directory(tmp_path).video_sent.read_text()
+        assert header.count("time,stream_id") == 1
+
+    def test_truncate_to_discards_uncommitted_rows(self, telemetry, tmp_path):
+        from repro.data import ArchiveAppender
+
+        first, second = self._halves(telemetry)
+        with ArchiveAppender(tmp_path) as appender:
+            appender.append(first)
+            durable = appender.offsets()
+            appender.append(second)  # crashes before the next checkpoint…
+        with ArchiveAppender(tmp_path) as appender:
+            appender.truncate_to(durable)  # …so resume rolls these back
+            assert appender.offsets() == durable
+        loaded = load_archive_day(tmp_path)
+        assert len(loaded.video_sent) == len(first.video_sent)
+        assert len(loaded.video_acked) == len(first.video_acked)
+        assert len(loaded.client_buffer) == len(first.client_buffer)
+
+    def test_truncate_requires_every_table(self, tmp_path):
+        from repro.data import ArchiveAppender
+
+        with ArchiveAppender(tmp_path) as appender:
+            with pytest.raises(ValueError, match="no stored offset"):
+                appender.truncate_to({"video_sent": 0})
+
+    def test_offsets_reflect_flushed_bytes(self, telemetry, tmp_path):
+        from repro.data import ArchiveAppender
+
+        with ArchiveAppender(tmp_path) as appender:
+            before = appender.offsets()
+            appender.append(telemetry)
+            after = appender.offsets()
+        day = ArchiveDay.in_directory(tmp_path)
+        assert after["video_sent"] == day.video_sent.stat().st_size
+        assert all(after[k] >= before[k] for k in before)
+
+
+class TestTolerantReconstruction:
+    """reconstruct_streams must survive the row-ordering hazards of a
+    streamed archive: shuffled acks, duplicates, orphans, clock skew."""
+
+    def test_ack_order_is_irrelevant(self, telemetry):
+        reference = reconstruct_streams(telemetry)
+        rng = np.random.default_rng(0)
+        shuffled = TelemetryLog()
+        shuffled.video_sent.extend(telemetry.video_sent)
+        shuffled.client_buffer.extend(telemetry.client_buffer)
+        acks = list(telemetry.video_acked)
+        rng.shuffle(acks)
+        shuffled.video_acked.extend(acks)
+        result = reconstruct_streams(shuffled)
+        assert set(result) == set(reference)
+        for stream_id in reference:
+            assert (
+                result[stream_id].chunk_transmission_times
+                == reference[stream_id].chunk_transmission_times
+            )
+
+    def test_duplicate_acks_keep_earliest(self, telemetry):
+        from dataclasses import replace
+
+        reference = reconstruct_streams(telemetry)
+        noisy = TelemetryLog()
+        noisy.video_sent.extend(telemetry.video_sent)
+        noisy.client_buffer.extend(telemetry.client_buffer)
+        noisy.video_acked.extend(telemetry.video_acked)
+        # Re-ack every chunk 5 seconds later (a retransmitted ack).
+        for ack in telemetry.video_acked:
+            noisy.video_acked.append(replace(ack, time=ack.time + 5.0))
+        result = reconstruct_streams(noisy)
+        for stream_id in reference:
+            assert (
+                result[stream_id].chunk_transmission_times
+                == reference[stream_id].chunk_transmission_times
+            )
+
+    def test_orphan_acks_dropped(self, telemetry):
+        from dataclasses import replace
+
+        reference = reconstruct_streams(telemetry)
+        noisy = TelemetryLog()
+        noisy.video_sent.extend(telemetry.video_sent)
+        noisy.client_buffer.extend(telemetry.client_buffer)
+        noisy.video_acked.extend(telemetry.video_acked)
+        # Acks for chunks that were never sent (viewer left mid-delivery).
+        template = telemetry.video_acked[0]
+        noisy.video_acked.append(replace(template, chunk_index=10_000))
+        noisy.video_acked.append(
+            replace(template, stream_id=999, chunk_index=0)
+        )
+        result = reconstruct_streams(noisy)
+        assert set(result) == set(reference)
+        for stream_id in reference:
+            assert (
+                result[stream_id].n_chunks_acked
+                == reference[stream_id].n_chunks_acked
+            )
+
+    def test_acks_before_send_dropped(self, telemetry):
+        from dataclasses import replace
+
+        reference = reconstruct_streams(telemetry)
+        noisy = TelemetryLog()
+        noisy.video_sent.extend(telemetry.video_sent)
+        noisy.client_buffer.extend(telemetry.client_buffer)
+        # Corrupt every ack to predate its send: all must be dropped…
+        for ack in telemetry.video_acked:
+            noisy.video_acked.append(replace(ack, time=-1.0))
+        result = reconstruct_streams(noisy)
+        for stream in result.values():
+            assert stream.n_chunks_acked == 0
+        # …without corrupting a clean reconstruction run afterwards.
+        assert reconstruct_streams(telemetry) == reference

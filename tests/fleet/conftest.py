@@ -1,0 +1,43 @@
+"""Shared fixtures for the fleet-subsystem tests: cheap classical schemes
+and a tiny deployment configuration that runs in well under a second."""
+
+import pytest
+
+from repro.abr.bba import BBA
+from repro.abr.mpc import MpcHm
+from repro.experiment.presets import smoke_trial_config
+from repro.experiment.schemes import SchemeSpec
+from repro.fleet import FleetConfig, WorkloadConfig
+
+
+def classical_specs():
+    """Cheap schemes (no trained models) for fast fleet runs."""
+    return [
+        SchemeSpec(
+            name="bba", control="classical", predictor="n/a",
+            optimization_goal="+SSIM s.t. bitrate < limit",
+            how_trained="n/a", factory=BBA,
+        ),
+        SchemeSpec(
+            name="mpc_hm", control="classical", predictor="classical (HM)",
+            optimization_goal="+SSIM, -stalls, -dSSIM",
+            how_trained="n/a", factory=MpcHm,
+        ),
+    ]
+
+
+@pytest.fixture()
+def specs():
+    return classical_specs()
+
+
+@pytest.fixture()
+def tiny_fleet_config():
+    """~35 sessions over half an hour of simulated calendar time."""
+    return FleetConfig(
+        workload=WorkloadConfig(
+            days=0.02, sessions_per_hour=80.0, seed=5
+        ),
+        trial=smoke_trial_config(seed=11),
+        chunk_sessions=8,
+    )

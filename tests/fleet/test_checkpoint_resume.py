@@ -1,0 +1,284 @@
+"""Crash-safety tests (satellite d of PR 4): kill a fleet run mid-flight,
+resume from the surviving checkpoint, and demand a *byte-identical*
+metrics dump and open-data archive.
+
+Two layers:
+
+* in-process: ``stop_after_sessions`` pauses at chosen cut points (a
+  deterministic stand-in for SIGKILL that exercises the identical resume
+  path), across worker counts;
+* out-of-process: a real ``SIGKILL`` delivered to a ``repro fleet run``
+  subprocess at a randomized moment, then ``repro fleet resume``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fleet import CheckpointError, FleetConfig, WorkloadConfig, run_fleet
+from repro.fleet.checkpoint import (
+    CheckpointManager,
+    FleetCheckpoint,
+    config_fingerprint,
+)
+from repro.fleet.sinks import FleetSink
+
+
+def dump_bytes(result):
+    return json.dumps(result.to_dump_dict(), sort_keys=True)
+
+
+class TestCheckpointManager:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt.json"))
+        assert not manager.exists()
+        sink = FleetSink()
+        sink.sessions = 7
+        checkpoint = FleetCheckpoint(
+            fingerprint="abc", next_session_id=7, sink=sink,
+            archive_offsets={"video_sent": 123}, cli_args={"days": 1.0},
+        )
+        manager.save(checkpoint)
+        assert manager.exists()
+        loaded = manager.load(expected_fingerprint="abc")
+        assert loaded.next_session_id == 7
+        assert loaded.sink.sessions == 7
+        assert loaded.archive_offsets == {"video_sent": 123}
+        assert loaded.cli_args == {"days": 1.0}
+        assert not loaded.completed
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt.json"))
+        manager.save(
+            FleetCheckpoint(
+                fingerprint="abc", next_session_id=0, sink=FleetSink()
+            )
+        )
+        with pytest.raises(CheckpointError):
+            manager.load(expected_fingerprint="different")
+
+    def test_corrupt_checkpoint_detected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            CheckpointManager(str(path)).load()
+
+    def test_missing_checkpoint_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CheckpointManager(str(tmp_path / "absent.json")).load()
+
+    def test_wrong_schema_version_refused(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(CheckpointError):
+            CheckpointManager(str(path)).load()
+
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt.json"))
+        manager.save(
+            FleetCheckpoint(
+                fingerprint="abc", next_session_id=0, sink=FleetSink()
+            )
+        )
+        assert not os.path.exists(str(tmp_path / "ckpt.json.tmp"))
+
+    def test_fingerprint_sensitive_to_every_part(self):
+        base = config_fingerprint({"a": 1}, ["x"])
+        assert config_fingerprint({"a": 2}, ["x"]) != base
+        assert config_fingerprint({"a": 1}, ["y"]) != base
+        assert config_fingerprint({"a": 1}, ["x"]) == base
+
+
+class TestInProcessResume:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        from .conftest import classical_specs
+
+        from repro.experiment.presets import smoke_trial_config
+
+        config = FleetConfig(
+            workload=WorkloadConfig(
+                days=0.02, sessions_per_hour=80.0, seed=5
+            ),
+            trial=smoke_trial_config(seed=11),
+            chunk_sessions=8,
+        )
+        archive = tmp_path_factory.mktemp("reference") / "archive"
+        result = run_fleet(
+            classical_specs(), config, workers=1, archive_dir=str(archive)
+        )
+        return config, result, archive
+
+    @pytest.mark.parametrize(
+        "cut,workers_before,workers_after",
+        [(8, 1, 1), (17, 2, 1), (30, 1, 2)],
+    )
+    def test_pause_resume_byte_identical(
+        self, reference, tmp_path, cut, workers_before, workers_after
+    ):
+        from .conftest import classical_specs
+
+        config, expected, expected_archive = reference
+        ckpt = str(tmp_path / "ckpt.json")
+        archive = tmp_path / "archive"
+        partial = run_fleet(
+            classical_specs(), config, workers=workers_before,
+            checkpoint_path=ckpt, archive_dir=str(archive),
+            stop_after_sessions=cut,
+        )
+        assert not partial.completed
+        resumed = run_fleet(
+            classical_specs(), config, workers=workers_after,
+            checkpoint_path=ckpt, archive_dir=str(archive), resume=True,
+        )
+        assert resumed.completed
+        assert dump_bytes(resumed) == dump_bytes(expected)
+        for name in ("video_sent.csv", "video_acked.csv",
+                     "client_buffer.csv"):
+            assert (archive / name).read_bytes() == (
+                expected_archive / name
+            ).read_bytes()
+
+    def test_resume_refused_under_different_config(
+        self, reference, tmp_path
+    ):
+        from dataclasses import replace
+
+        from .conftest import classical_specs
+
+        config, _, _ = reference
+        ckpt = str(tmp_path / "ckpt.json")
+        run_fleet(
+            classical_specs(), config, checkpoint_path=ckpt,
+            stop_after_sessions=8,
+        )
+        changed = replace(
+            config, workload=replace(config.workload, seed=999)
+        )
+        with pytest.raises(CheckpointError):
+            run_fleet(
+                classical_specs(), changed, checkpoint_path=ckpt,
+                resume=True,
+            )
+
+    def test_resume_of_completed_run_is_idempotent(
+        self, reference, tmp_path
+    ):
+        from .conftest import classical_specs
+
+        config, expected, _ = reference
+        ckpt = str(tmp_path / "ckpt.json")
+        first = run_fleet(classical_specs(), config, checkpoint_path=ckpt)
+        again = run_fleet(
+            classical_specs(), config, checkpoint_path=ckpt, resume=True
+        )
+        assert again.completed
+        assert dump_bytes(again) == dump_bytes(first) == dump_bytes(expected)
+
+    def test_fresh_start_ignores_missing_checkpoint(
+        self, reference, tmp_path
+    ):
+        from .conftest import classical_specs
+
+        config, expected, _ = reference
+        result = run_fleet(
+            classical_specs(), config,
+            checkpoint_path=str(tmp_path / "new.json"), resume=True,
+        )
+        assert dump_bytes(result) == dump_bytes(expected)
+
+
+@pytest.mark.parallel_smoke
+class TestSigkillResume:
+    """A real kill -9 delivered to the CLI mid-run, then CLI resume."""
+
+    CLI = [
+        "fleet", "run",
+        "--days", "0.02", "--rate", "80", "--seed", "5",
+        "--trial-seed", "11", "--chunk-size", "4",
+    ]
+
+    def _run_cli(self, args, cwd):
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd, env=env, capture_output=True, text=True,
+        )
+
+    def test_sigkill_then_resume_byte_identical(self, tmp_path):
+        # Reference: one uninterrupted CLI run.
+        ref_dir = tmp_path / "ref"
+        ref_dir.mkdir()
+        completed = self._run_cli(
+            self.CLI + [
+                "--archive-dir", str(ref_dir / "archive"),
+                "--out", str(ref_dir / "dump.json"),
+            ],
+            cwd=str(tmp_path),
+        )
+        assert completed.returncode == 0, completed.stderr
+
+        # Victim: same run with a checkpoint, killed without warning.
+        victim_dir = tmp_path / "victim"
+        victim_dir.mkdir()
+        ckpt = str(victim_dir / "ckpt.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.getcwd(), "src") + os.pathsep + (
+            env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", *self.CLI,
+                "--checkpoint", ckpt,
+                "--archive-dir", str(victim_dir / "archive"),
+            ],
+            cwd=str(tmp_path), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # Let it commit a few chunks, then kill -9 mid-run.  The trigger is
+        # state-based (checkpointed progress), not a fixed sleep, so the
+        # kill lands mid-run on fast and slow machines alike; checkpoint
+        # saves are atomic (tmp + os.replace), so reads see whole files.
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            try:
+                with open(ckpt) as f:
+                    snapshot = json.load(f)
+            except (FileNotFoundError, ValueError):
+                snapshot = None
+            if snapshot is not None and snapshot["next_session_id"] >= 8:
+                break
+            time.sleep(0.02)
+        process.kill()
+        process.wait(timeout=30)
+        assert os.path.exists(ckpt), "run was killed before any checkpoint"
+
+        checkpoint = json.loads(open(ckpt).read())
+        assert not checkpoint["completed"]
+        assert checkpoint["next_session_id"] > 0
+
+        # Resume from the surviving checkpoint via the CLI.
+        resumed = self._run_cli(
+            [
+                "fleet", "resume", "--checkpoint", ckpt, "--workers", "2",
+                "--out", str(victim_dir / "dump.json"),
+            ],
+            cwd=str(tmp_path),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        assert (victim_dir / "dump.json").read_bytes() == (
+            ref_dir / "dump.json"
+        ).read_bytes()
+        for name in ("video_sent.csv", "video_acked.csv",
+                     "client_buffer.csv"):
+            assert (victim_dir / "archive" / name).read_bytes() == (
+                ref_dir / "archive" / name
+            ).read_bytes()

@@ -1,0 +1,174 @@
+"""Tests for repro.fleet.runner — the deployment driver.
+
+Acceptance bar (ISSUE 4): the canonical metrics dump is *byte-identical*
+at any worker count and any chunk size, and a fleet run streaming the
+open-data archive produces the same CSV bytes serially and in parallel.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import FleetConfig, WorkloadConfig, run_fleet
+from repro.fleet.checkpoint import CheckpointManager
+from repro.fleet.runner import format_sink_table
+
+
+def dump_bytes(result):
+    return json.dumps(result.to_dump_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """One serial reference run, shared across the byte-identity and
+    accounting tests (the config matches ``tiny_fleet_config``)."""
+    from repro.experiment.presets import smoke_trial_config
+
+    from .conftest import classical_specs
+
+    config = FleetConfig(
+        workload=WorkloadConfig(days=0.02, sessions_per_hour=80.0, seed=5),
+        trial=smoke_trial_config(seed=11),
+        chunk_sessions=8,
+    )
+    return run_fleet(classical_specs(), config, workers=1)
+
+
+class TestValidation:
+    def test_rejects_empty_specs(self, tiny_fleet_config):
+        with pytest.raises(ValueError):
+            run_fleet([], tiny_fleet_config)
+
+    def test_rejects_duplicate_scheme_names(self, specs, tiny_fleet_config):
+        with pytest.raises(ValueError):
+            run_fleet(specs + [specs[0]], tiny_fleet_config)
+
+    def test_rejects_bad_workers(self, specs, tiny_fleet_config):
+        with pytest.raises(ValueError):
+            run_fleet(specs, tiny_fleet_config, workers=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            FleetConfig(chunk_sessions=0)
+
+    def test_rejects_bad_stop_after(self, specs, tiny_fleet_config):
+        with pytest.raises(ValueError):
+            run_fleet(specs, tiny_fleet_config, stop_after_sessions=0)
+
+
+class TestByteIdentity:
+    def test_parallel_matches_serial(self, specs, tiny_fleet_config, reference):
+        parallel = run_fleet(specs, tiny_fleet_config, workers=3)
+        assert dump_bytes(reference) == dump_bytes(parallel)
+        assert reference.completed and parallel.completed
+
+    def test_chunk_size_is_irrelevant(
+        self, specs, tiny_fleet_config, reference
+    ):
+        from dataclasses import replace
+
+        b = run_fleet(
+            specs, replace(tiny_fleet_config, chunk_sessions=3), workers=2
+        )
+        assert dump_bytes(reference) == dump_bytes(b)
+
+    def test_archive_identical_serial_vs_parallel(
+        self, specs, tiny_fleet_config, tmp_path
+    ):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run_fleet(specs, tiny_fleet_config, workers=1,
+                  archive_dir=str(serial_dir))
+        run_fleet(specs, tiny_fleet_config, workers=2,
+                  archive_dir=str(parallel_dir))
+        for name in ("video_sent.csv", "video_acked.csv",
+                     "client_buffer.csv"):
+            assert (serial_dir / name).read_bytes() == (
+                parallel_dir / name
+            ).read_bytes()
+            assert (serial_dir / name).stat().st_size > 0
+
+    def test_dump_file_round_trip(self, reference, tmp_path):
+        result = reference
+        path = result.dump(str(tmp_path / "dump.json"))
+        with open(path) as f:
+            data = json.load(f)
+        assert data["schema_version"] == 1
+        assert data["completed"] is True
+        assert sorted(data["summaries"]) == sorted(result.scheme_names)
+        from repro.fleet import FleetSink
+
+        restored = FleetSink.from_dict(data["sink"])
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            result.sink.to_dict(), sort_keys=True
+        )
+
+
+class TestAccounting:
+    def test_sessions_match_workload(self, tiny_fleet_config, reference):
+        from repro.fleet import WorkloadGenerator
+
+        expected = WorkloadGenerator(tiny_fleet_config.workload).count()
+        result = reference
+        assert result.sink.sessions == expected
+        assert result.next_session_id == expected
+        assert sum(result.sink.arrivals_by_hour) == expected
+        assert sum(result.sink.sessions_by_day.values()) == expected
+
+    def test_consort_accounting_consistent(self, reference):
+        result = reference
+        total_assigned = 0
+        for name, scheme in result.sink.schemes.items():
+            excluded = (
+                scheme.did_not_begin
+                + scheme.watch_time_under_4s
+                + scheme.slow_video_decoder
+            )
+            assert scheme.n_streams == scheme.streams_assigned - excluded
+            total_assigned += scheme.streams_assigned
+        assert total_assigned == result.sink.streams
+
+    def test_summaries_and_table(self, reference):
+        result = reference
+        rows = result.summaries()
+        assert [r.scheme for r in rows] == sorted(result.scheme_names)
+        table = result.format_table()
+        assert table == format_sink_table(result.sink)
+        for name in result.scheme_names:
+            assert name in table
+
+    def test_throughput_reported(self, specs, tiny_fleet_config):
+        result = run_fleet(specs, tiny_fleet_config, workers=2)
+        throughput = result.throughput
+        assert throughput is not None
+        assert throughput.sessions == result.sink.sessions
+        assert throughput.commits > 0
+        assert "sessions/s" in throughput.format()
+
+    def test_on_commit_hook_sees_monotone_progress(
+        self, specs, tiny_fleet_config
+    ):
+        seen = []
+        run_fleet(
+            specs, tiny_fleet_config,
+            on_commit=lambda next_id, sink: seen.append(next_id),
+        )
+        assert seen == sorted(seen)
+        assert len(seen) > 1
+
+
+class TestPause:
+    def test_stop_after_sessions_pauses(
+        self, specs, tiny_fleet_config, tmp_path
+    ):
+        ckpt = str(tmp_path / "ckpt.json")
+        result = run_fleet(
+            specs, tiny_fleet_config, checkpoint_path=ckpt,
+            stop_after_sessions=10,
+        )
+        assert not result.completed
+        assert result.next_session_id >= 10
+        checkpoint = CheckpointManager(ckpt).load()
+        assert not checkpoint.completed
+        assert checkpoint.next_session_id == result.next_session_id

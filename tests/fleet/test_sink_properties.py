@@ -1,0 +1,258 @@
+"""Property tests for the fleet sinks (satellite c of PR 4).
+
+Two families of properties:
+
+* **Exactness** — sink merging is associative and permutation-invariant
+  *bit for bit*: any grouping of observations into sub-sinks, merged in any
+  order, serializes to the identical canonical JSON.  This is the property
+  that licenses "byte-identical at any worker count / kill point".
+* **Fidelity** — the streaming sink's summary statistics agree with the
+  exact list-based statistics within the documented tolerances (point
+  estimates ~1e-12 relative; normal-approximation CIs match their
+  closed-form list-based counterparts to ~1e-9).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.abr.base import ChunkRecord
+from repro.analysis.stats import weighted_mean, weighted_mean_ci
+from repro.fleet.sinks import (
+    ExactSum,
+    StreamingMoments,
+    StreamingSchemeSink,
+    WeightedMoments,
+)
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+# Finite doubles across many magnitudes (denormals included via min side).
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64,
+    min_value=-1e12, max_value=1e12,
+)
+
+float_lists = st.lists(finite_floats, min_size=0, max_size=40)
+
+
+def chunkings(n, rng):
+    """A random partition of range(n) into consecutive chunks."""
+    bounds = sorted(rng.choice(n + 1, size=rng.integers(0, 4), replace=True))
+    edges = [0] + [int(b) for b in bounds] + [n]
+    return [
+        (edges[i], edges[i + 1])
+        for i in range(len(edges) - 1)
+        if edges[i] < edges[i + 1]
+    ]
+
+
+class TestExactSumProperties:
+    @given(values=float_lists, seed=st.integers(0, 2**16))
+    def test_any_grouping_and_order_is_bit_identical(self, values, seed):
+        rng = np.random.default_rng(seed)
+
+        reference = ExactSum()
+        for v in values:
+            reference.add(v)
+
+        # Random permutation, random chunking, random merge order.
+        order = rng.permutation(len(values))
+        permuted = [values[i] for i in order]
+        parts = []
+        for lo, hi in chunkings(len(permuted), rng):
+            part = ExactSum()
+            for v in permuted[lo:hi]:
+                part.add(v)
+            parts.append(part)
+        rng.shuffle(parts)
+        merged = ExactSum()
+        for part in parts:
+            merged.merge(part)
+
+        assert merged == reference
+        assert merged.to_dict() == reference.to_dict()
+
+    @given(values=float_lists)
+    def test_serialization_round_trip_exact(self, values):
+        s = ExactSum()
+        for v in values:
+            s.add(v)
+        assert ExactSum.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_value_at_least_as_accurate_as_float_sum(self, values):
+        s = ExactSum()
+        for v in values:
+            s.add(v)
+        exact = s.fraction()
+        naive = 0.0
+        for v in values:
+            naive += v
+        # The exact sum's rounding error is bounded by the naive sum's.
+        from fractions import Fraction
+
+        assert abs(Fraction(s.value()) - exact) <= abs(Fraction(naive) - exact)
+
+
+class TestMomentsProperties:
+    @given(values=st.lists(finite_floats, min_size=2, max_size=40))
+    def test_streaming_moments_match_numpy(self, values):
+        m = StreamingMoments()
+        for v in values:
+            m.observe(v)
+        assert m.mean() == pytest.approx(
+            float(np.mean(values)), rel=1e-9, abs=1e-9
+        )
+        se = float(np.std(values, ddof=1)) / math.sqrt(len(values))
+        assert m.standard_error() == pytest.approx(se, rel=1e-6, abs=1e-9)
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                st.floats(min_value=1e-3, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_weighted_moments_match_list_formula(self, data):
+        values = np.array([v for v, _ in data])
+        weights = np.array([w for _, w in data])
+        m = WeightedMoments()
+        for v, w in data:
+            m.observe(v, w)
+        assert m.mean() == pytest.approx(
+            weighted_mean(values, weights), rel=1e-12, abs=1e-12
+        )
+        reference = weighted_mean_ci(values, weights)
+        ci = m.mean_ci()
+        assert ci.point == pytest.approx(reference.point, rel=1e-12, abs=1e-12)
+        assert ci.low == pytest.approx(reference.low, rel=1e-9, abs=1e-9)
+        assert ci.high == pytest.approx(reference.high, rel=1e-9, abs=1e-9)
+
+    @given(values=float_lists, seed=st.integers(0, 2**16))
+    def test_moments_merge_permutation_invariant(self, values, seed):
+        rng = np.random.default_rng(seed)
+        reference = StreamingMoments()
+        for v in values:
+            reference.observe(v)
+
+        order = rng.permutation(len(values))
+        permuted = [values[i] for i in order]
+        merged = StreamingMoments()
+        for lo, hi in chunkings(len(permuted), rng):
+            part = StreamingMoments()
+            for v in permuted[lo:hi]:
+                part.observe(v)
+            merged.merge(part)
+        assert merged.to_dict() == reference.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Whole-sink properties over synthetic stream results.
+# ---------------------------------------------------------------------------
+stream_params = st.tuples(
+    st.floats(min_value=1.0, max_value=30.0,
+              allow_nan=False, allow_infinity=False),   # ssim dB
+    st.floats(min_value=4.0, max_value=2000.0,
+              allow_nan=False, allow_infinity=False),   # play time
+    st.floats(min_value=0.0, max_value=60.0,
+              allow_nan=False, allow_infinity=False),   # stall time
+)
+
+
+def build_stream(index, ssim, play, stall):
+    info = TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=1e7)
+    records = [
+        ChunkRecord(
+            chunk_index=i, rung=5, size_bytes=5e5, ssim_db=ssim,
+            transmission_time=1.0, info_at_send=info, send_time=i * 2.0,
+        )
+        for i in range(3)
+    ]
+    return StreamResult(
+        index, "x", records=records, play_time=play, stall_time=stall,
+        startup_delay=0.4, total_time=play + stall,
+    )
+
+
+class TestSchemeSinkProperties:
+    @given(
+        params=st.lists(stream_params, min_size=1, max_size=12),
+        seed=st.integers(0, 2**16),
+    )
+    def test_merge_permutation_and_grouping_invariant(self, params, seed):
+        rng = np.random.default_rng(seed)
+        streams = [build_stream(i, *p) for i, p in enumerate(params)]
+
+        reference = StreamingSchemeSink("x")
+        for s in streams:
+            reference.observe_stream(s)
+            reference.observe_session_duration(s.total_time + 10.0)
+
+        order = rng.permutation(len(streams))
+        permuted = [streams[i] for i in order]
+        parts = []
+        for lo, hi in chunkings(len(permuted), rng):
+            part = StreamingSchemeSink("x")
+            for s in permuted[lo:hi]:
+                part.observe_stream(s)
+                part.observe_session_duration(s.total_time + 10.0)
+            parts.append(part)
+        rng.shuffle(parts)
+        merged = StreamingSchemeSink("x")
+        for part in parts:
+            merged.merge(part)
+
+        assert (
+            json.dumps(merged.to_dict(), sort_keys=True)
+            == json.dumps(reference.to_dict(), sort_keys=True)
+        )
+
+    @given(params=st.lists(stream_params, min_size=2, max_size=12))
+    def test_summary_matches_exact_list_statistics(self, params):
+        from repro.analysis.summary import summarize_scheme
+
+        streams = [build_stream(i, *p) for i, p in enumerate(params)]
+        sink = StreamingSchemeSink("x")
+        for s in streams:
+            sink.observe_stream(s)
+        row = sink.summary()
+        reference = summarize_scheme("x", streams, n_resamples=50)
+
+        assert row.n_streams == reference.n_streams
+        assert row.stall_ratio.point == pytest.approx(
+            reference.stall_ratio.point, rel=1e-12, abs=1e-15
+        )
+        assert row.mean_ssim_db.point == pytest.approx(
+            reference.mean_ssim_db.point, rel=1e-12
+        )
+        # The SSIM interval uses the same closed-form weighted SE as the
+        # list path — agreement is tight, not just asymptotic.
+        values = np.array([s.mean_ssim_db for s in streams])
+        weights = np.array([s.watch_time for s in streams])
+        closed_form = weighted_mean_ci(values, weights)
+        assert row.mean_ssim_db.low == pytest.approx(
+            closed_form.low, rel=1e-9, abs=1e-9
+        )
+        assert row.mean_ssim_db.high == pytest.approx(
+            closed_form.high, rel=1e-9, abs=1e-9
+        )
+        assert row.mean_bitrate_bps == pytest.approx(
+            reference.mean_bitrate_bps, rel=1e-12
+        )
+        assert row.fraction_streams_with_stall == pytest.approx(
+            reference.fraction_streams_with_stall
+        )
+        # Stall-ratio CI is a normal approximation of the bootstrap's
+        # target: it must at least bracket the identical point estimate.
+        assert row.stall_ratio.low <= row.stall_ratio.point
+        assert row.stall_ratio.point <= row.stall_ratio.high
