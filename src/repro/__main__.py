@@ -15,7 +15,11 @@ Commands
 ``obs summary``
     Pretty-print a metrics dump (counters, histogram quantiles, events).
 ``lint``
-    Run the AST-based determinism & correctness linter (``repro.lint``).
+    Run the AST-based determinism & correctness linter (``repro.lint``);
+    ``--whole-program`` adds the interprocedural purity phase.
+``sanitize-run``
+    Run the canonical mini-trial with the runtime determinism sanitizer
+    armed (``repro.sanitizer``) and print the telemetry digest.
 ``fleet run``
     Simulate an open-ended deployment (Poisson/diurnal arrivals) at
     constant memory, with crash-safe checkpoints.
@@ -196,6 +200,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_sanitize_run(args: argparse.Namespace) -> int:
+    """Run a mini-trial with every runtime determinism tripwire armed.
+
+    The dynamic counterpart of ``repro lint --whole-program``: wall-clock
+    reads, hidden-global-RNG draws, environment writes and module-state
+    mutation inside the session path raise instead of passing silently.
+    Exit 0 prints the telemetry digest (comparable across worker counts
+    and against an unsanitized run); a violation exits 1.
+    """
+    import hashlib
+    import os
+
+    from repro import sanitizer
+    from repro.experiment import RandomizedTrial, TrialConfig
+
+    snapshot = list(sanitizer.DEFAULT_SNAPSHOT_MODULES)
+    try:
+        from repro.lint.purity import PurityConfig, default_config_path
+
+        config_path = default_config_path()
+        if config_path.is_file():
+            loaded = PurityConfig.load(config_path)
+            if loaded.snapshot_modules:
+                snapshot = list(loaded.snapshot_modules)
+    except (OSError, ValueError) as exc:
+        print(
+            f"warning: ignoring purity-roots config: {exc}", file=sys.stderr
+        )
+    # Arm this process and let pool workers (fork or spawn) self-arm.
+    os.environ[sanitizer.ENV_FLAG] = "1"
+    sanitizer.install(snapshot)
+    print(
+        f"sanitizer armed (hash canary {sanitizer.hash_canary()})",
+        file=sys.stderr,
+    )
+    try:
+        trial = RandomizedTrial(
+            _obs_collect_specs(),
+            TrialConfig(
+                n_sessions=args.sessions,
+                seed=args.seed,
+                collect_telemetry=True,
+            ),
+        ).run(workers=args.workers)
+    except sanitizer.SanitizerViolation as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
+        return 1
+    telemetry = trial.telemetry
+    assert telemetry is not None
+    digest = hashlib.sha256()
+    rows = 0
+    for table in ("video_sent", "video_acked", "client_buffer"):
+        for record in getattr(telemetry, table):
+            digest.update(
+                json.dumps(record.to_dict(), sort_keys=True).encode()
+            )
+            digest.update(b"\n")
+            rows += 1
+    print(
+        f"{args.sessions} session(s) sanitized clean: "
+        f"{rows} telemetry rows, digest {digest.hexdigest()[:16]}"
+    )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -602,13 +671,34 @@ def build_parser() -> argparse.ArgumentParser:
             "(DET001), no wall-clock in simulation paths (DET002), no "
             "hash-order iteration (DET003), no float equality in simulator "
             "branches (SIM001), guarded metric emission (OBS001), no "
-            "mutable default arguments (API001)."
+            "mutable default arguments (API001).  With --whole-program, "
+            "also run the interprocedural purity phase (PURE001-PURE003) "
+            "over the declared purity roots."
         ),
     )
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize-run",
+        help="run a mini-trial with runtime determinism tripwires armed",
+        description=(
+            "Dynamic counterpart of `repro lint --whole-program`: runs the "
+            "classical-scheme mini-trial under REPRO_SANITIZE=1, where "
+            "wall-clock reads, hidden-global-RNG draws, environment writes "
+            "and module-state mutation on the session path raise instead "
+            "of passing silently."
+        ),
+    )
+    sanitize.add_argument("--sessions", type=int, default=8)
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (the digest is identical at any count)",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize_run)
     return parser
 
 

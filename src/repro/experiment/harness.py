@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import obs, sanitizer
 from repro.abr.base import AbrAlgorithm
 from repro.experiment.consort import (
     ConsortFlow,
@@ -249,6 +249,7 @@ def connection_seed(trial_seed: int, session_id: int) -> tuple:
     return (trial_seed, 0x1055, session_id)
 
 
+@sanitizer.guarded("run_session")
 def run_session(
     specs: Sequence[SchemeSpec],
     config: TrialConfig,
@@ -261,7 +262,10 @@ def run_session(
 
     Every random draw is keyed on ``(config.seed, session_id)`` so the
     result depends only on the arguments, never on which sessions ran
-    before it or on which process runs it.
+    before it or on which process runs it.  This is also the declared
+    purity root of the static analyzer (``purity-roots.json``); under
+    ``REPRO_SANITIZE=1`` the body runs inside a :mod:`repro.sanitizer`
+    guard that turns any surviving impurity into a hard error.
 
     Parameters
     ----------
@@ -287,7 +291,7 @@ def run_session(
     # by session id — which is what keeps the merged metrics bit-identical
     # between the serial loop and the process pool.
     obs_ctx = obs.ObsContext() if config.observability else None
-    # repro: allow-DET002(wall-clock session cost; quarantined profile.* metric)
+    # repro: allow-DET002(wall-clock session cost; quarantined profile.* metric) repro: allow-PURE002(profiling only; value never reaches session results)
     wall_start = time.perf_counter()
 
     rng = np.random.default_rng((config.seed, session_id))
@@ -374,7 +378,7 @@ def run_session(
         obs_ctx.metrics.inc("trial.streams", float(n_streams))
         obs_ctx.metrics.observe(
             "profile.session_wall_s",
-            # repro: allow-DET002(wall-clock profiling, tagged wallclock=True)
+            # repro: allow-DET002(wall-clock profiling, tagged wallclock=True) repro: allow-PURE002(profiling only; quarantined wallclock obs metric)
             time.perf_counter() - wall_start,
             spec=obs.TIME_SPEC,
             wallclock=True,

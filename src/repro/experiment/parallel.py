@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.abr.base import AbrAlgorithm
 from repro.experiment.harness import (
     SessionShard,
     ThroughputReport,
@@ -53,16 +54,49 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 have heavy-tailed durations, so fine-grained chunks stop one long chunk from
 straggling the whole pool)."""
 
-# ---------------------------------------------------------------------------
-# Worker-side state.
-#
-# ``_WORKER_PAYLOAD`` is set in the parent immediately before the pool forks,
-# so forked children inherit it; spawn children receive a pickled copy via
-# the pool initializer.  ``_WORKER_ALGORITHMS`` is the per-process scheme
-# instance cache, built lazily on the first chunk a worker executes.
-# ---------------------------------------------------------------------------
-_WORKER_PAYLOAD: Optional[Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]]] = None
-_WORKER_ALGORITHMS = None
+WorkerPayload = Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]]
+
+
+@dataclass
+class _WorkerState:
+    """Per-process worker state with explicit fork-inheritance semantics.
+
+    There is exactly one instance per process, the module-level
+    ``_WORKER_STATE`` singleton, and it is written at exactly three points:
+
+    * ``payload`` is set by the **parent** immediately before the pool
+      forks (and cleared when the pool is done), so forked children inherit
+      the specs/config/expt-id mapping by copy-on-write without pickling.
+      Spawn children receive a pickled copy via :func:`_init_spawn_worker`
+      instead.
+    * ``algorithms`` is the per-process scheme-instance cache: each
+      **worker** builds it on the first chunk it executes and reuses it for
+      every later chunk in that process.  Instances never cross a process
+      boundary, and the parent's copy is never populated — which is what
+      removes the cross-session shared-instance hazard of the historical
+      single-loop harness.
+
+    This is deliberate, documented impure state on the pure session path;
+    the writes below carry ``repro: allow-PURE001`` suppressions that point
+    back at this contract.
+    """
+
+    payload: Optional[WorkerPayload] = None
+    algorithms: Optional[Dict[str, AbrAlgorithm]] = None
+
+    def adopt_payload(self, payload: Optional[WorkerPayload]) -> None:
+        """Parent-side: stage (or clear) the payload around a pool's life."""
+        self.payload = payload
+        # A stale cache must never outlive its payload (tests re-enter the
+        # pool within one process; workers always start from None anyway).
+        self.algorithms = None
+
+    def require_payload(self) -> WorkerPayload:
+        if self.payload is None:
+            raise RuntimeError("worker payload missing (pool misconfigured)")
+        return self.payload
+
+_WORKER_STATE = _WorkerState()
 
 
 @dataclass
@@ -76,31 +110,29 @@ class _ChunkResult:
 
 def _init_spawn_worker(payload_bytes: bytes) -> None:
     """Pool initializer for spawn-based platforms."""
-    global _WORKER_PAYLOAD, _WORKER_ALGORITHMS
-    _WORKER_PAYLOAD = pickle.loads(payload_bytes)
-    _WORKER_ALGORITHMS = None
+    _WORKER_STATE.adopt_payload(pickle.loads(payload_bytes))
 
 
 def _run_chunk(session_ids: Sequence[int]) -> _ChunkResult:
     """Simulate a contiguous chunk of sessions in this worker process."""
-    global _WORKER_ALGORITHMS
-    if _WORKER_PAYLOAD is None:
-        raise RuntimeError("worker payload missing (pool misconfigured)")
-    specs, config, expt_ids = _WORKER_PAYLOAD
-    if _WORKER_ALGORITHMS is None:
+    specs, config, expt_ids = _WORKER_STATE.require_payload()
+    if _WORKER_STATE.algorithms is None:
         # Per-worker scheme instances: built once per process, reused across
-        # this worker's sessions, never shared with any other process.
-        _WORKER_ALGORITHMS = {spec.name: spec.build() for spec in specs}
-    # repro: allow-DET002(per-worker busy-time report; never enters results)
+        # this worker's sessions, never shared with any other process (see
+        # the _WorkerState contract above).
+        # repro: allow-PURE001(per-process scheme cache; instances never cross a process boundary, see _WorkerState)
+        _WORKER_STATE.algorithms = {spec.name: spec.build() for spec in specs}
+    algorithms = _WORKER_STATE.algorithms
+    # repro: allow-DET002(per-worker busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
     start = time.perf_counter()
     shards = [
-        run_session(specs, config, session_id, expt_ids, _WORKER_ALGORITHMS)
+        run_session(specs, config, session_id, expt_ids, algorithms)
         for session_id in session_ids
     ]
     return _ChunkResult(
         worker=os.getpid(),
         shards=shards,
-        # repro: allow-DET002(per-worker busy-time report; never enters results)
+        # repro: allow-DET002(per-worker busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
         busy_s=time.perf_counter() - start,
     )
 
@@ -177,17 +209,18 @@ def run_trial_parallel(
         ctx = multiprocessing.get_context()
         mode = ctx.get_start_method()
 
-    global _WORKER_PAYLOAD
     # repro: allow-DET002(throughput report timing; never enters results)
     start = time.perf_counter()
     chunk_results: List[_ChunkResult]
     if mode == "fork":
-        _WORKER_PAYLOAD = payload
+        # Parent-side payload staging: forked children inherit the singleton
+        # copy-on-write (see the _WorkerState contract).
+        _WORKER_STATE.adopt_payload(payload)
         try:
             with ctx.Pool(processes=workers) as pool:
                 chunk_results = pool.map(_run_chunk, chunks, chunksize=1)
         finally:
-            _WORKER_PAYLOAD = None
+            _WORKER_STATE.adopt_payload(None)
     else:  # pragma: no cover - non-fork platforms
         payload_bytes = _payload_for_spawn(payload)
         if payload_bytes is None:

@@ -295,7 +295,7 @@ def _simulate_chunk(
     delta = FleetSink()
     telemetry = TelemetryLog() if config.collect_telemetry else None
     n_streams = 0
-    # repro: allow-DET002(per-chunk busy-time report; never enters results)
+    # repro: allow-DET002(per-chunk busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
     start = time.perf_counter()
     for session_id, time_s in items:
         shard = run_session(specs, config, session_id, expt_ids, algorithms)
@@ -310,7 +310,7 @@ def _simulate_chunk(
         delta=delta,
         telemetry=telemetry,
         n_streams=n_streams,
-        # repro: allow-DET002(per-chunk busy-time report; never enters results)
+        # repro: allow-DET002(per-chunk busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
         busy_s=time.perf_counter() - start,
     )
 
@@ -329,6 +329,7 @@ def _run_fleet_chunk(items: Sequence[Tuple[int, float]]) -> _FleetChunk:
         raise RuntimeError("fleet worker payload missing (pool misconfigured)")
     specs, config, expt_ids = _FLEET_PAYLOAD
     if _FLEET_ALGORITHMS is None:
+        # repro: allow-PURE001(per-process scheme cache; instances never cross a process boundary, mirrors experiment.parallel._WorkerState)
         _FLEET_ALGORITHMS = {spec.name: spec.build() for spec in specs}
     return _simulate_chunk(specs, config, expt_ids, _FLEET_ALGORITHMS, items)
 

@@ -61,16 +61,51 @@ class Baseline:
     def apply(self, findings: Sequence[Finding]) -> List[Finding]:
         """Mark findings covered by the baseline, respecting counts.
 
-        Findings are consumed in deterministic (path, line) order so the
-        *first* N occurrences of a grandfathered fingerprint are baselined
-        and any extras surface as new.
+        Two deterministic passes:
+
+        1. **exact** — findings whose full ``rule:path:hash`` fingerprint
+           has remaining budget consume it, in (path, line) order, so the
+           *first* N occurrences of a grandfathered fingerprint are
+           baselined and any extras surface as new;
+        2. **rename-tolerant** — leftovers fall back to the path-free
+           ``rule:hash`` form against the budget of *unconsumed* exact
+           entries.  A renamed or moved file therefore keeps its
+           grandfathered findings (same rule, same offending line text)
+           without a baseline rewrite.
         """
+        ordered = sorted(findings, key=Finding.sort_key)
         remaining = dict(self.counts)
-        out: List[Finding] = []
-        for finding in sorted(findings, key=Finding.sort_key):
+
+        # Pass 1: exact fingerprints.
+        baselined: Dict[int, bool] = {}
+        for index, finding in enumerate(ordered):
             key = finding.fingerprint()
             if remaining.get(key, 0) > 0 and not finding.suppressed:
                 remaining[key] -= 1
+                baselined[index] = True
+
+        # Pass 2: rename-tolerant fallback over the unconsumed budget.
+        content_budget: Dict[str, int] = {}
+        for key, count in remaining.items():
+            if count <= 0:
+                continue
+            rule, _, content = _split_fingerprint(key)
+            if content:
+                fallback = f"{rule}:{content}"
+                content_budget[fallback] = (
+                    content_budget.get(fallback, 0) + count
+                )
+        for index, finding in enumerate(ordered):
+            if baselined.get(index) or finding.suppressed:
+                continue
+            fallback = finding.content_fingerprint()
+            if content_budget.get(fallback, 0) > 0:
+                content_budget[fallback] -= 1
+                baselined[index] = True
+
+        out: List[Finding] = []
+        for index, finding in enumerate(ordered):
+            if baselined.get(index):
                 out.append(
                     Finding(
                         rule=finding.rule,
@@ -85,3 +120,11 @@ class Baseline:
             else:
                 out.append(finding)
         return out
+
+
+def _split_fingerprint(key: str) -> "tuple[str, str, str]":
+    """Split ``rule:path:content-hash`` (path may itself contain colons on
+    exotic filesystems — the rule and hash never do)."""
+    rule, _, rest = key.partition(":")
+    path, _, content = rest.rpartition(":")
+    return rule, path, content

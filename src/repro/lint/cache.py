@@ -1,0 +1,130 @@
+"""Content-hash cache for per-file lint findings.
+
+The tier-1 tree-clean gate (``tests/lint/test_tree_clean.py``) re-lints
+every file in ``src/repro`` on every run; parsing plus six rule passes over
+~100 files dominates the gate's runtime.  Per-file findings are a pure
+function of ``(rule-set, reported path, file bytes)``, so they cache
+perfectly:
+
+* **key** — SHA-256 over the rule-set fingerprint (a digest of the lint
+  package's own source files — editing any rule invalidates everything),
+  the selected-rule list, the path as it appears in findings, and the file
+  content;
+* **value** — the serialized finding list (including suppressed findings
+  and their reasons; baseline state is *not* cached — the baseline is
+  applied after retrieval).
+
+The cache lives under ``.lint-cache/`` in the working directory.  Every
+I/O failure degrades silently to a miss (read-only checkouts just don't
+cache), and it is **disabled** when the ``CI`` environment variable is set
+(CI must always exercise the full path) or when ``REPRO_LINT_CACHE=0``.
+``REPRO_LINT_CACHE_DIR`` overrides the location.
+
+The whole-program phase is never cached: its result depends on every file
+at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import repro.lint as _lint_package
+from repro.lint.findings import Finding
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+_RULESET_FINGERPRINT: Optional[str] = None
+
+
+def cache_enabled() -> bool:
+    """Cache policy: on by default, off in CI or via ``REPRO_LINT_CACHE=0``."""
+    if os.environ.get("REPRO_LINT_CACHE") == "0":
+        return False
+    if os.environ.get("CI"):
+        return False
+    return True
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_LINT_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def ruleset_fingerprint() -> str:
+    """Digest of the lint package's own sources (computed once per process).
+
+    Any edit to a rule, the engine, the suppression parser, or the finding
+    format changes the fingerprint and invalidates every cache entry — the
+    cache can never serve findings produced by a different linter.
+    """
+    global _RULESET_FINGERPRINT
+    if _RULESET_FINGERPRINT is None:
+        digest = hashlib.sha256()
+        digest.update(f"cache-v{CACHE_VERSION}\n".encode("utf-8"))
+        package_dir = Path(_lint_package.__file__).resolve().parent
+        try:
+            sources = sorted(package_dir.glob("*.py"))
+            for source in sources:
+                digest.update(source.name.encode("utf-8"))
+                digest.update(source.read_bytes())
+        except OSError:  # pragma: no cover - unreadable install
+            digest.update(b"unreadable")
+        _RULESET_FINGERPRINT = digest.hexdigest()
+    return _RULESET_FINGERPRINT
+
+
+class FindingsCache:
+    """Filesystem-backed findings cache; every failure is a silent miss."""
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        select: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.root = root if root is not None else cache_dir()
+        select_key = ",".join(sorted(select)) if select is not None else "*"
+        self._prefix = f"{ruleset_fingerprint()}\n{select_key}\n"
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path_key: str, source: str) -> Path:
+        digest = hashlib.sha256(
+            (self._prefix + path_key + "\n").encode("utf-8")
+            + source.encode("utf-8")
+        ).hexdigest()
+        return self.root / f"{digest}.json"
+
+    def get(self, path_key: str, source: str) -> Optional[List[Finding]]:
+        entry = self._entry_path(path_key, source)
+        try:
+            raw = entry.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            findings = [Finding.from_dict(item) for item in payload]
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self, path_key: str, source: str, findings: Sequence[Finding]
+    ) -> None:
+        entry = self._entry_path(path_key, source)
+        payload = json.dumps(
+            [f.to_dict() for f in findings], sort_keys=True
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, entry)
+        except OSError:
+            return

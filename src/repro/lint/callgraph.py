@@ -1,0 +1,388 @@
+"""Module-level call graph for the whole-program lint phase.
+
+The per-file rules of :mod:`repro.lint` are deliberately local: each looks
+at one AST and nothing else.  The purity rules (``PURE001``–``PURE003``)
+need the opposite view — *which functions can execute while a pure
+entrypoint runs* — so this module builds a conservative static call graph
+over every linted file and computes the transitive closure from a set of
+declared roots (see :mod:`repro.lint.purity`).
+
+Resolution is best-effort and intentionally **over-approximates**:
+
+* direct calls to module-level functions (local, ``from x import f``, and
+  ``module.f`` forms) resolve exactly via the per-file import map;
+* ``SomeClass(...)`` resolves to ``SomeClass.__init__`` and, for
+  dataclasses, ``__post_init__`` (including inherited initializers);
+* ``self.method()`` resolves within the defining class, its bases, *and*
+  every subclass override (static virtual dispatch);
+* ``obj.method()`` on a receiver of unknown type resolves *by name* to
+  every method of that name anywhere in the graph — except names that
+  collide with builtin container/string methods (``append``, ``items``,
+  ``format``…), which would otherwise drag the whole tree into every
+  region.
+
+Over-approximation is sound for purity checking (a function is only ever
+checked *more* often than strictly necessary); the name blocklist is the
+one deliberate precision trade-off and is documented in EXPERIMENTS.md.
+Properties and attribute reads are not traversed.
+
+Everything here is pure stdlib ``ast`` and deterministic: modules are
+processed in sorted path order and edge lists are sorted, so reachability
+(and therefore the whole-program findings) is byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.base import ImportMap, collect_imports, dotted_name
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names never resolved by bare-name matching: they collide with
+#: builtin list/dict/set/str/file methods, so a name match would connect
+#: ``session.streams.append(...)`` to any user-defined ``append`` and melt
+#: the pure region into the whole tree.  Calls through these names on a
+#: *resolved* receiver (``self.update(...)``) still link exactly.
+NAME_MATCH_BLOCKLIST = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "sort", "reverse", "add", "discard", "update", "get", "setdefault",
+        "keys", "values", "items", "copy", "count", "index",
+        "join", "split", "strip", "lstrip", "rstrip", "replace", "format",
+        "startswith", "endswith", "encode", "decode", "lower", "upper",
+        "read", "write", "close", "flush", "seek", "tell", "open",
+        "appendleft", "popleft",
+        "mean", "sum", "min", "max", "astype", "tolist", "item", "fill",
+        "dump", "dumps", "load", "loads", "exists",
+    }
+)
+
+#: Mutating container methods (used by the PURE001 rule when the receiver
+#: is a module-level binding).
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "sort", "reverse", "add", "discard", "update", "setdefault",
+        "__setitem__", "__delitem__", "appendleft", "popleft",
+    }
+)
+
+
+@dataclass
+class ParsedModule:
+    """One parsed file, as the graph builder consumes it."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: Sequence[str]
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or class method."""
+
+    qualname: str
+    """``repro.pkg.mod.func`` or ``repro.pkg.mod.Class.method``."""
+
+    module: str
+    path: str
+    node: FunctionNode
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    """Resolved dotted base names (best effort)."""
+
+    methods: Dict[str, str] = field(default_factory=dict)
+    """method name -> function qualname."""
+
+    is_dataclass: bool = False
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        name = dotted_name(deco.func if isinstance(deco, ast.Call) else deco)
+        if name in {"dataclass", "dataclasses.dataclass"}:
+            return True
+    return False
+
+
+class CallGraph:
+    """Static call graph over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.modules: Dict[str, ParsedModule] = {}
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        self._imports: Dict[str, ImportMap] = {}
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._parent: Dict[str, Optional[str]] = {}
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, modules: Iterable[ParsedModule]) -> "CallGraph":
+        graph = cls()
+        ordered = sorted(modules, key=lambda m: m.path)
+        for parsed in ordered:
+            if not parsed.module:
+                continue
+            graph.modules[parsed.module] = parsed
+            graph._imports[parsed.module] = collect_imports(parsed.tree)
+            graph._collect_definitions(parsed)
+        graph._index_methods()
+        for qualname in sorted(graph.functions):
+            graph.edges[qualname] = graph._resolve_edges(qualname)
+        return graph
+
+    def _collect_definitions(self, parsed: ParsedModule) -> None:
+        for node in parsed.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{parsed.module}.{node.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    module=parsed.module,
+                    path=parsed.path,
+                    node=node,
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(parsed, node)
+
+    def _collect_class(self, parsed: ParsedModule, node: ast.ClassDef) -> None:
+        imports = self._imports[parsed.module]
+        qualname = f"{parsed.module}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is None:
+                continue
+            bases.append(_resolve_dotted(dotted, imports, parsed.module))
+        info = ClassInfo(
+            qualname=qualname,
+            module=parsed.module,
+            path=parsed.path,
+            node=node,
+            bases=tuple(bases),
+            is_dataclass=_is_dataclass(node),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qual = f"{qualname}.{item.name}"
+                self.functions[method_qual] = FunctionInfo(
+                    qualname=method_qual,
+                    module=parsed.module,
+                    path=parsed.path,
+                    node=item,
+                    class_name=node.name,
+                )
+                info.methods[item.name] = method_qual
+        self.classes[qualname] = info
+
+    def _index_methods(self) -> None:
+        for qualname, fn in self.functions.items():
+            if fn.class_name is None:
+                continue
+            name = fn.name
+            if name in NAME_MATCH_BLOCKLIST or name.startswith("__"):
+                continue
+            self._methods_by_name.setdefault(name, []).append(qualname)
+        for matches in self._methods_by_name.values():
+            matches.sort()
+
+    # -- class hierarchy ----------------------------------------------------
+    def ancestors(self, class_qualname: str) -> List[str]:
+        """Known ancestor classes, nearest first (cycle-safe)."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        queue = list(self.classes[class_qualname].bases)
+        while queue:
+            base = queue.pop(0)
+            if base in seen or base not in self.classes:
+                continue
+            seen.add(base)
+            out.append(base)
+            queue.extend(self.classes[base].bases)
+        return out
+
+    def subclasses(self, class_qualname: str) -> List[str]:
+        """Every known class with *class_qualname* among its ancestors."""
+        out = [
+            qualname
+            for qualname in self.classes
+            if class_qualname in self.ancestors(qualname)
+        ]
+        return sorted(out)
+
+    def lookup_method(self, class_qualname: str, name: str) -> Optional[str]:
+        """Resolve *name* on a class through its MRO (graph-known part)."""
+        info = self.classes.get(class_qualname)
+        if info is None:
+            return None
+        if name in info.methods:
+            return info.methods[name]
+        for base in self.ancestors(class_qualname):
+            base_info = self.classes[base]
+            if name in base_info.methods:
+                return base_info.methods[name]
+        return None
+
+    def constructor_targets(self, class_qualname: str) -> List[str]:
+        """Functions executed when ``Class(...)`` is evaluated."""
+        targets: List[str] = []
+        for method in ("__init__", "__post_init__", "__new__"):
+            resolved = self.lookup_method(class_qualname, method)
+            if resolved is not None:
+                targets.append(resolved)
+        return targets
+
+    # -- edge resolution ----------------------------------------------------
+    def _resolve_edges(self, qualname: str) -> Tuple[str, ...]:
+        fn = self.functions[qualname]
+        imports = self._imports[fn.module]
+        targets: Set[str] = set()
+        class_qual = (
+            f"{fn.module}.{fn.class_name}" if fn.class_name else None
+        )
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            targets.update(
+                self._resolve_call(node, fn.module, imports, class_qual)
+            )
+        targets.discard(qualname)
+        return tuple(sorted(targets))
+
+    def _resolve_call(
+        self,
+        node: ast.Call,
+        module: str,
+        imports: ImportMap,
+        class_qual: Optional[str],
+    ) -> Set[str]:
+        out: Set[str] = set()
+        func = node.func
+        # self.method(...) — exact + virtual dispatch over subclasses.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in {"self", "cls"}
+            and class_qual is not None
+        ):
+            exact = self.lookup_method(class_qual, func.attr)
+            if exact is not None:
+                out.add(exact)
+            for sub in self.subclasses(class_qual):
+                override = self.classes[sub].methods.get(func.attr)
+                if override is not None:
+                    out.add(override)
+            return out
+
+        dotted = dotted_name(func)
+        if dotted is not None:
+            resolved = _resolve_dotted(dotted, imports, module)
+            if resolved in self.functions:
+                out.add(resolved)
+                return out
+            if resolved in self.classes:
+                out.update(self.constructor_targets(resolved))
+                return out
+
+        # obj.method(...) on an unresolvable receiver: name match.
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if name not in NAME_MATCH_BLOCKLIST and not name.startswith("__"):
+                out.update(self._methods_by_name.get(name, ()))
+        return out
+
+    # -- reachability -------------------------------------------------------
+    def reachable(self, roots: Sequence[str]) -> Set[str]:
+        """Transitive closure of *roots* over the call edges.
+
+        Also records a parent map so :meth:`witness_path` can explain *why*
+        a function is in the region.
+        """
+        self._parent = {}
+        seen: Set[str] = set()
+        queue: List[str] = []
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in seen:
+                seen.add(root)
+                self._parent[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for target in self.edges.get(current, ()):
+                if target in seen:
+                    continue
+                seen.add(target)
+                self._parent[target] = current
+                queue.append(target)
+        return seen
+
+    def witness_path(self, qualname: str, limit: int = 6) -> List[str]:
+        """Shortest known chain root → … → *qualname* (root first)."""
+        chain: List[str] = []
+        cursor: Optional[str] = qualname
+        while cursor is not None and len(chain) < limit:
+            chain.append(cursor)
+            cursor = self._parent.get(cursor)
+        chain.reverse()
+        return chain
+
+
+def _resolve_dotted(dotted: str, imports: ImportMap, module: str) -> str:
+    """Fully qualify a dotted reference using the file's import map.
+
+    Local module-level names qualify against the containing module; aliased
+    imports resolve through :class:`~repro.lint.base.ImportMap`.
+    """
+    head, _, rest = dotted.partition(".")
+    if head in imports.names:
+        origin = imports.names[head]
+        return f"{origin}.{rest}" if rest else origin
+    if head in imports.modules:
+        real = imports.modules[head]
+        return f"{real}.{rest}" if rest else real
+    # Unqualified local reference: ``helper()`` / ``LocalClass()``.
+    return f"{module}.{dotted}"
+
+
+def build_graph(
+    files: Mapping[str, ParsedModule],
+    exclude_prefixes: Sequence[str] = (),
+) -> CallGraph:
+    """Build the graph, dropping modules under any excluded dotted prefix.
+
+    Exclusion implements the *quarantine* concept: calls into a quarantined
+    package (``repro.obs`` — the designed wall-clock surface) terminate at
+    the graph boundary instead of dragging its internals into the pure
+    region.
+    """
+
+    def quarantined(module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in exclude_prefixes
+        )
+
+    return CallGraph.build(
+        parsed
+        for parsed in files.values()
+        if parsed.module and not quarantined(parsed.module)
+    )

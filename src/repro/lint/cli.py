@@ -12,6 +12,11 @@ from typing import List, Optional, Sequence
 
 from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
 from repro.lint.engine import iter_rule_docs, lint_paths, refreshed_baseline
+from repro.lint.purity import (
+    DEFAULT_PURITY_CONFIG_NAME,
+    PurityConfig,
+    default_config_path,
+)
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +63,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help=(
+            "also run the interprocedural purity phase (PURE001-PURE003) "
+            "over the declared purity roots"
+        ),
+    )
+    parser.add_argument(
+        "--purity-roots",
+        default=None,
+        metavar="FILE",
+        help=(
+            "purity-roots config for --whole-program (default: "
+            f"{DEFAULT_PURITY_CONFIG_NAME} in the current directory)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the per-file findings cache for this run",
+    )
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
@@ -79,21 +106,40 @@ def run_lint(args: argparse.Namespace) -> int:
     select: Optional[List[str]] = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
-    if args.write_baseline:
-        target = args.baseline or DEFAULT_BASELINE_NAME
-        baseline = refreshed_baseline(args.paths, select=select)
-        baseline.write(target)
-        print(
-            f"wrote {len(baseline.counts)} fingerprint(s) to {target}",
-            file=sys.stderr,
+    purity_config: Optional[PurityConfig] = None
+    if args.whole_program:
+        config_path = (
+            Path(args.purity_roots)
+            if args.purity_roots is not None
+            else default_config_path()
         )
-        return 0
+        try:
+            purity_config = PurityConfig.load(config_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
+        if args.write_baseline:
+            target = args.baseline or DEFAULT_BASELINE_NAME
+            baseline = refreshed_baseline(args.paths, select=select)
+            baseline.write(target)
+            print(
+                f"wrote {len(baseline.counts)} fingerprint(s) to {target}",
+                file=sys.stderr,
+            )
+            return 0
         baseline = _resolve_baseline(args)
+        report = lint_paths(
+            args.paths,
+            baseline=baseline,
+            select=select,
+            whole_program=args.whole_program,
+            purity_config=purity_config,
+            use_cache=False if args.no_cache else None,
+        )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = lint_paths(args.paths, baseline=baseline, select=select)
     if args.format == "json":
         print(report.to_json())
     else:

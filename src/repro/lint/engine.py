@@ -3,6 +3,19 @@
 The engine is pure stdlib (``ast`` + ``re``) and deterministic: files are
 visited in sorted order and findings are sorted by ``(path, line, col,
 rule)``, so two runs over the same tree produce byte-identical reports.
+
+Two phases:
+
+* **per-file** — every registered rule (DET/SIM/OBS/API) runs over each
+  file in isolation.  Results are cached by content hash
+  (:mod:`repro.lint.cache`) because they depend only on the rule set and
+  the file bytes.
+* **whole-program** (``whole_program=True`` / ``repro lint
+  --whole-program``) — the interprocedural purity pass: a call graph over
+  the whole tree, the transitive closure of the declared purity roots, and
+  the PURE001–PURE003 rules over that region (:mod:`repro.lint.purity`,
+  :mod:`repro.lint.rules_purity`).  Never cached; suppressed by the same
+  inline ``# repro: allow-RULE(reason)`` comments as the per-file phase.
 """
 
 from __future__ import annotations
@@ -11,11 +24,14 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.lint.base import FileContext, Rule, derive_module, make_rules
 from repro.lint.baseline import Baseline
+from repro.lint.cache import FindingsCache, cache_enabled
+from repro.lint.callgraph import ParsedModule
 from repro.lint.findings import Finding
+from repro.lint.purity import PurityConfig, analyze_program
 from repro.lint.suppressions import apply_suppressions, parse_suppressions
 
 
@@ -30,6 +46,9 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    whole_program: bool = False
 
     @property
     def ok(self) -> bool:
@@ -47,16 +66,20 @@ class LintReport:
             f"{len(self.suppressed)} suppressed, "
             f"{len(self.baselined)} baselined"
         )
+        if self.whole_program:
+            summary += " [whole-program]"
         lines.append(summary)
         return "\n".join(lines)
 
     def to_json(self) -> str:
         payload = {
+            "schema_version": 1,
             "files_checked": self.files_checked,
             "findings": [f.to_dict() for f in self.findings],
             "suppressed": [f.to_dict() for f in self.suppressed],
             "baselined": [f.to_dict() for f in self.baselined],
             "parse_errors": list(self.parse_errors),
+            "whole_program": self.whole_program,
             "ok": self.ok,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -77,6 +100,17 @@ def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return unique
 
 
+def parse_module(source: str, path: str) -> ParsedModule:
+    """Parse one file into the shape both phases consume."""
+    lines = source.splitlines()
+    return ParsedModule(
+        path=path,
+        module=derive_module(path, lines),
+        tree=ast.parse(source, filename=path),
+        lines=lines,
+    )
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -84,47 +118,141 @@ def lint_source(
 ) -> List[Finding]:
     """Lint a source string; returns raw findings (suppressions applied,
     suppressed ones included with ``suppressed=True``)."""
-    lines = source.splitlines()
-    tree = ast.parse(source, filename=path)
+    parsed = parse_module(source, path)
+    return _run_file_rules(parsed, rules if rules is not None else make_rules())
+
+
+def _run_file_rules(
+    parsed: ParsedModule, rules: Sequence[Rule]
+) -> List[Finding]:
     ctx = FileContext(
-        path=path,
-        tree=tree,
-        lines=lines,
-        module=derive_module(path, lines),
-    )
-    active_rules: Sequence[Rule] = (
-        rules if rules is not None else make_rules()
+        path=parsed.path,
+        tree=parsed.tree,
+        lines=parsed.lines,
+        module=parsed.module,
     )
     raw: List[Finding] = []
-    for rule in active_rules:
+    for rule in rules:
         raw.extend(rule.check(ctx))
-    effective, malformed = parse_suppressions(lines, path)
+    effective, malformed = parse_suppressions(parsed.lines, parsed.path)
     processed = apply_suppressions(raw, effective)
     processed.extend(malformed)
     processed.sort(key=Finding.sort_key)
     return processed
 
 
+def _apply_program_suppressions(
+    findings: Sequence[Finding], sources: Dict[str, str]
+) -> List[Finding]:
+    """Run whole-program findings through each file's inline suppressions.
+
+    Malformed-suppression findings are *not* re-emitted here — the
+    per-file phase already reports them once.
+    """
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    out: List[Finding] = []
+    for path in sorted(by_path):
+        source = sources.get(path)
+        if source is None:
+            out.extend(by_path[path])
+            continue
+        effective, _ = parse_suppressions(source.splitlines(), path)
+        out.extend(apply_suppressions(by_path[path], effective))
+    out.sort(key=Finding.sort_key)
+    return out
+
+
+def lint_whole_program(
+    files: Iterable[ParsedModule],
+    config: PurityConfig,
+    sources: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """Run only the purity phase over pre-parsed modules.
+
+    Used directly by the purity fixture tests; production runs go through
+    :func:`lint_paths` with ``whole_program=True``.
+    """
+    parsed_map = {parsed.path: parsed for parsed in files}
+    findings = analyze_program(parsed_map, config)
+    if sources is None:
+        sources = {
+            path: "\n".join(parsed.lines)
+            for path, parsed in parsed_map.items()
+        }
+    return _apply_program_suppressions(findings, sources)
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     baseline: Optional[Baseline] = None,
     select: Optional[Sequence[str]] = None,
+    whole_program: bool = False,
+    purity_config: Optional[PurityConfig] = None,
+    use_cache: Optional[bool] = None,
 ) -> LintReport:
-    """Lint files/directories, returning a :class:`LintReport`."""
-    report = LintReport()
+    """Lint files/directories, returning a :class:`LintReport`.
+
+    Parameters
+    ----------
+    whole_program:
+        Also run the interprocedural purity phase (PURE001–PURE003) over
+        the full file set, using *purity_config* (required then).
+    use_cache:
+        Force the per-file findings cache on/off; default follows
+        :func:`repro.lint.cache.cache_enabled` (on, except in CI or under
+        ``REPRO_LINT_CACHE=0``).
+    """
+    if whole_program and purity_config is None:
+        raise ValueError("whole_program=True requires a purity_config")
+    report = LintReport(whole_program=whole_program)
     rules = make_rules(select)
+    cache: Optional[FindingsCache] = None
+    if use_cache if use_cache is not None else cache_enabled():
+        cache = FindingsCache(select=select)
+
     all_findings: List[Finding] = []
+    parsed_files: Dict[str, ParsedModule] = {}
+    sources: Dict[str, str] = {}
     for path in discover_files(paths):
         report.files_checked += 1
+        path_key = path.as_posix()
         try:
             source = path.read_text(encoding="utf-8")
-            findings = lint_source(source, path.as_posix(), rules=rules)
-        except SyntaxError as exc:
-            report.parse_errors.append(
-                f"{path.as_posix()}:{exc.lineno or 0}:0: PARSE {exc.msg}"
-            )
+        except OSError as exc:
+            report.parse_errors.append(f"{path_key}:0:0: PARSE {exc}")
             continue
+        cached = cache.get(path_key, source) if cache is not None else None
+        needs_parse = whole_program or cached is None
+        parsed: Optional[ParsedModule] = None
+        if needs_parse:
+            try:
+                parsed = parse_module(source, path_key)
+            except SyntaxError as exc:
+                report.parse_errors.append(
+                    f"{path_key}:{exc.lineno or 0}:0: PARSE {exc.msg}"
+                )
+                continue
+        if cached is not None:
+            findings = cached
+        else:
+            assert parsed is not None
+            findings = _run_file_rules(parsed, rules)
+            if cache is not None:
+                cache.put(path_key, source, findings)
+        if parsed is not None:
+            parsed_files[path_key] = parsed
+            sources[path_key] = source
         all_findings.extend(findings)
+
+    if whole_program:
+        assert purity_config is not None
+        program_findings = analyze_program(parsed_files, purity_config)
+        all_findings.extend(
+            _apply_program_suppressions(program_findings, sources)
+        )
+
     if baseline is not None:
         all_findings = baseline.apply(all_findings)
     for finding in sorted(all_findings, key=Finding.sort_key):
@@ -134,6 +262,9 @@ def lint_paths(
             report.baselined.append(finding)
         else:
             report.findings.append(finding)
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
     return report
 
 
@@ -150,3 +281,7 @@ def iter_rule_docs() -> Iterable[str]:
     """Human-readable one-liners for ``repro lint --rules``."""
     for rule in make_rules():
         yield f"{rule.id}: {rule.summary}"
+    from repro.lint.rules_purity import make_purity_rules
+
+    for purity_rule in make_purity_rules():
+        yield f"{purity_rule.id} (whole-program): {purity_rule.summary}"

@@ -43,6 +43,15 @@ class Finding:
         """Baseline key: stable across pure line-number shifts."""
         return f"{self.rule}:{self.path}:{self.content_hash}"
 
+    def content_fingerprint(self) -> str:
+        """Path-free baseline key: survives file renames/moves.
+
+        :meth:`repro.lint.baseline.Baseline.apply` matches exact
+        fingerprints first and falls back to this rename-tolerant form, so
+        moving a file does not resurrect its grandfathered findings.
+        """
+        return f"{self.rule}:{self.content_hash}"
+
     def format_human(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
@@ -53,11 +62,28 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "source_line": self.source_line,
             "fingerprint": self.fingerprint(),
             "suppressed": self.suppressed,
             "suppression_reason": self.suppression_reason,
             "baselined": self.baselined,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the ``fingerprint`` key is derived
+        state and is ignored on input)."""
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            source_line=str(data.get("source_line", "")),
+            suppressed=bool(data.get("suppressed", False)),
+            suppression_reason=str(data.get("suppression_reason", "")),
+            baselined=bool(data.get("baselined", False)),
+        )
 
     def sort_key(self) -> "tuple[str, int, int, str]":
         return (self.path, self.line, self.col, self.rule)

@@ -151,6 +151,7 @@ def simulate_stream(
                     cum_rebuf=result.stall_time,
                 )
             )
+            # repro: allow-PURE001(call-local accumulator; the cell dies with simulate_stream's frame, no cross-session state)
             next_report += buffer_report_interval
 
     while True:

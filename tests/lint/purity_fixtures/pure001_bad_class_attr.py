@@ -1,0 +1,15 @@
+# repro: module=fixturepkg.pure001_bad_class_attr
+"""BAD: the session root writes a class-level attribute.
+
+Static: PURE001 (class attribute write).  Dynamic: in-module classes expose
+their data attributes to the snapshot digest, so the write trips the guard.
+"""
+
+
+class SessionLog:
+    last_session = None
+
+
+def root(session_id):
+    SessionLog.last_session = session_id
+    return session_id

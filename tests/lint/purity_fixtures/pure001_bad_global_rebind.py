@@ -1,0 +1,14 @@
+# repro: module=fixturepkg.pure001_bad_global_rebind
+"""BAD: the session root rebinds a module global.
+
+Static: PURE001 (global write).  Dynamic: the sanitizer's module-namespace
+snapshot digest changes across the guard scope.
+"""
+
+_SESSIONS_RUN = 0
+
+
+def root(session_id):
+    global _SESSIONS_RUN
+    _SESSIONS_RUN = _SESSIONS_RUN + 1
+    return session_id * 2

@@ -1,0 +1,14 @@
+# repro: module=fixturepkg.pure001_bad_module_cache
+"""BAD: the session root memoizes into a module-level dict.
+
+Static: PURE001 (module-container mutation).  Dynamic: the snapshot digest
+of the module namespace changes across the guard scope.
+"""
+
+_CACHE = {}
+
+
+def root(session_id):
+    if session_id not in _CACHE:
+        _CACHE[session_id] = session_id * 3
+    return _CACHE[session_id]

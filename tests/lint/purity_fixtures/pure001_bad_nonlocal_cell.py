@@ -1,0 +1,19 @@
+# repro: module=fixturepkg.pure001_bad_nonlocal_cell
+"""BAD (static-only): a closure inside the root writes an enclosing cell.
+
+PURE001 flags the ``nonlocal`` store.  There is no dynamic pair: the cell
+dies with the root's frame, so the sanitizer correctly stays silent — this
+fixture documents the static rule's deliberate over-approximation.
+"""
+
+
+def root(values):
+    total = 0
+
+    def add(value):
+        nonlocal total
+        total = total + value
+
+    for value in values:
+        add(value)
+    return total

@@ -1,0 +1,13 @@
+# repro: module=fixturepkg.pure002_bad_environ_write
+"""BAD: the root mutates the process environment.
+
+Static: PURE002 (``os.environ`` store).  Dynamic: the ``os.putenv`` audit
+event trips inside the guard.
+"""
+
+import os
+
+
+def root(session_id):
+    os.environ["PURITY_FIXTURE_SESSION"] = str(session_id)
+    return session_id

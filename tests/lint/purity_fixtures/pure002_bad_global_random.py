@@ -1,0 +1,13 @@
+# repro: module=fixturepkg.pure002_bad_global_random
+"""BAD: the root draws from the stdlib's hidden global RNG.
+
+Static: PURE002 (``random.random``).  Dynamic: the patched module function
+trips inside the guard.
+"""
+
+import random
+
+
+def root(session_id):
+    jitter = random.random()
+    return session_id + jitter

@@ -1,0 +1,13 @@
+# repro: module=fixturepkg.pure002_bad_numpy_global
+"""BAD: the root draws from numpy's shared legacy RandomState.
+
+Static: PURE002 (``numpy.random.rand``).  Dynamic: the patched module
+function trips inside the guard.
+"""
+
+import numpy as np
+
+
+def root(session_id):
+    noise = np.random.rand()
+    return session_id + noise

@@ -1,0 +1,17 @@
+# repro: module=fixturepkg.pure002_bad_wallclock
+"""BAD: the root reads the wall clock through a helper.
+
+Static: PURE002 on the ``time.time()`` call, attributed through the call
+graph (witness ``root -> _now``).  Dynamic: the patched ``time.time`` trips
+inside the guard.
+"""
+
+import time
+
+
+def _now():
+    return time.time()
+
+
+def root(session_id):
+    return (session_id, _now())

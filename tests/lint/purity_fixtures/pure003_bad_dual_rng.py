@@ -1,0 +1,14 @@
+# repro: module=fixturepkg.pure003_bad_dual_rng
+"""BAD: the root accepts an RNG but also constructs its own, unseeded.
+
+Static: PURE003 (RNG duality) and PURE002 (unseeded ``default_rng()``).
+Dynamic: the unseeded-construction tripwire on ``numpy.random.default_rng``
+fires inside the guard.
+"""
+
+import numpy as np
+
+
+def root(session_id, rng):
+    extra = np.random.default_rng()
+    return float(rng.random()) + float(extra.random()) + session_id

@@ -1,0 +1,13 @@
+# repro: module=fixturepkg.pure003_good_fallback
+"""GOOD: the sanctioned optional-RNG fallback idiom.
+
+``rng if rng is not None else default_rng(seed)`` is how the tree threads
+optional generators; PURE003 exempts it and the construction is seeded.
+"""
+
+from numpy.random import default_rng
+
+
+def root(session_id, rng=None):
+    rng = rng if rng is not None else default_rng(session_id)
+    return float(rng.random())

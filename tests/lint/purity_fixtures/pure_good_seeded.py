@@ -1,0 +1,13 @@
+# repro: module=fixturepkg.pure_good_seeded
+"""GOOD: the canonical pure session root.
+
+Every draw comes from an RNG keyed on the session id; no module state is
+touched.  Both the static pass and the sanitizer stay silent.
+"""
+
+import numpy as np
+
+
+def root(session_id):
+    rng = np.random.default_rng((1234, session_id))
+    return float(rng.random()) + session_id

@@ -1,4 +1,4 @@
-"""CLI: exit codes, formats, baseline flags — via ``repro lint``."""
+"""CLI: exit codes, formats, baseline and purity flags — via ``repro lint``."""
 
 import json
 
@@ -8,9 +8,33 @@ from repro.__main__ import main as repro_main
 from repro.lint.cli import main as lint_main
 
 
+@pytest.fixture(autouse=True)
+def _no_cache(monkeypatch):
+    """CLI tests exercise the lint path, not the findings cache."""
+    monkeypatch.setenv("REPRO_LINT_CACHE", "0")
+
+
 @pytest.fixture
 def dirty_dir(tmp_path):
     (tmp_path / "m.py").write_text("import time\nt = time.time()\n")
+    return tmp_path
+
+
+@pytest.fixture
+def purity_tree(tmp_path):
+    """A mini program with a declared purity root that reads the clock."""
+    (tmp_path / "app.py").write_text(
+        "# repro: module=pkg.app\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "def root():\n"
+        "    return time.time()  # repro: allow-DET002(cli purity test)\n"
+    )
+    config = tmp_path / "purity-roots.json"
+    config.write_text(
+        json.dumps({"version": 1, "roots": ["pkg.app.root"]}) + "\n"
+    )
     return tmp_path
 
 
@@ -70,12 +94,131 @@ class TestLintCli:
         assert lint_main([str(dirty_dir), "--select", "DET001"]) == 0
         assert lint_main([str(dirty_dir), "--select", "DET002"]) == 1
 
+    def test_unknown_select_is_usage_error(self, dirty_dir, capsys):
+        assert lint_main([str(dirty_dir), "--select", "NOPE"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
     def test_rules_listing(self, capsys):
         assert lint_main(["--rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ["DET001", "DET002", "DET003", "SIM001", "OBS001",
-                        "API001"]:
+                        "API001", "PURE001", "PURE002", "PURE003"]:
             assert rule_id in out
+        assert "(whole-program)" in out
+
+
+class TestJsonSchema:
+    REQUIRED_KEYS = {
+        "schema_version",
+        "files_checked",
+        "findings",
+        "suppressed",
+        "baselined",
+        "parse_errors",
+        "whole_program",
+        "ok",
+    }
+
+    def test_report_round_trips_with_stable_schema(self, dirty_dir, capsys):
+        assert lint_main([str(dirty_dir), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == self.REQUIRED_KEYS
+        assert payload["schema_version"] == 1
+        assert payload["whole_program"] is False
+        assert payload["ok"] is False
+        finding = payload["findings"][0]
+        for key in ("rule", "path", "line", "col", "message"):
+            assert key in finding
+
+    def test_whole_program_flag_reaches_the_report(self, purity_tree, capsys):
+        assert (
+            lint_main(
+                [
+                    str(purity_tree),
+                    "--whole-program",
+                    "--purity-roots",
+                    str(purity_tree / "purity-roots.json"),
+                    "--format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["whole_program"] is True
+        assert [f["rule"] for f in payload["findings"]] == ["PURE002"]
+
+
+class TestWholeProgramCli:
+    def test_purity_finding_exits_one(self, purity_tree, capsys):
+        code = lint_main(
+            [
+                str(purity_tree),
+                "--whole-program",
+                "--purity-roots",
+                str(purity_tree / "purity-roots.json"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PURE002" in out and "[whole-program]" in out
+
+    def test_missing_config_is_usage_error(self, purity_tree, capsys):
+        code = lint_main(
+            [
+                str(purity_tree),
+                "--whole-program",
+                "--purity-roots",
+                str(purity_tree / "absent.json"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_repo_tree_is_whole_program_clean(self, capsys, monkeypatch):
+        """The shipping gate: ``repro lint src --whole-program`` exits 0."""
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        monkeypatch.chdir(repo_root)
+        assert lint_main(["src", "--whole-program"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out and "[whole-program]" in out
+
+
+class TestBaselineRenames:
+    def test_baselined_finding_survives_a_file_rename(
+        self, tmp_path, capsys
+    ):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text("import time\nt = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [str(tree), "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        (tree / "a.py").rename(tree / "b.py")
+        assert lint_main([str(tree), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_extra_occurrence_beyond_the_budget_is_new(
+        self, tmp_path, capsys
+    ):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "a.py").write_text("import time\nt = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        lint_main(
+            [str(tree), "--baseline", str(baseline), "--write-baseline"]
+        )
+        # A second copy of the same offending line exceeds the count.
+        (tree / "b.py").write_text("import time\nt = time.time()\n")
+        assert lint_main([str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out and "1 baselined" in out
 
 
 class TestReproSubcommand:
@@ -87,4 +230,25 @@ class TestReproSubcommand:
         with pytest.raises(SystemExit) as excinfo:
             repro_main(["lint", "--help"])
         assert excinfo.value.code == 0
-        assert "determinism" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "determinism" in out and "--whole-program" in out
+
+    def test_repro_sanitize_run_help_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["sanitize-run", "--help"])
+        assert excinfo.value.code == 0
+        assert "REPRO_SANITIZE" in capsys.readouterr().out
+
+    @pytest.mark.parallel_smoke
+    def test_repro_sanitize_run_executes_clean(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        from repro import sanitizer
+
+        try:
+            assert repro_main(["sanitize-run", "--sessions", "2"]) == 0
+        finally:
+            sanitizer.uninstall()
+            monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        captured = capsys.readouterr()
+        assert "digest" in captured.out
+        assert "canary" in captured.err
