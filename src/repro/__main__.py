@@ -349,6 +349,8 @@ def _fleet_cli_args(args: argparse.Namespace) -> dict:
         "schemes": list(args.schemes),
         "chunk_size": args.chunk_size,
         "archive_dir": args.archive_dir,
+        "executor": args.executor,
+        "batch_lanes": args.batch_lanes,
     }
 
 
@@ -366,7 +368,11 @@ def _fleet_config_from_args(args: argparse.Namespace):
     )
     trial = smoke_trial_config(seed=args.trial_seed)
     return _fleet_specs(args.schemes), FleetConfig(
-        workload=workload, trial=trial, chunk_sessions=args.chunk_size
+        workload=workload,
+        trial=trial,
+        chunk_sessions=args.chunk_size,
+        executor=args.executor,
+        batch_lanes=args.batch_lanes,
     )
 
 
@@ -439,6 +445,8 @@ def _cmd_fleet_resume(args: argparse.Namespace) -> int:
         schemes=list(stored["schemes"]),
         chunk_size=int(stored["chunk_size"]),
         archive_dir=stored["archive_dir"],
+        executor=str(stored.get("executor", "auto")),
+        batch_lanes=int(stored.get("batch_lanes", 64)),
         checkpoint=args.checkpoint,
         workers=args.workers,
         stop_after=args.stop_after,
@@ -613,6 +621,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument(
         "--chunk-size", type=int, default=16,
         help="sessions per commit/checkpoint (does not affect results)",
+    )
+    fleet_run.add_argument(
+        "--executor", choices=["auto", "batch", "scalar"], default="auto",
+        help="chunk executor: the vectorized batch kernel, the scalar "
+        "session loop, or auto-select (the dump is byte-identical "
+        "either way)",
+    )
+    fleet_run.add_argument(
+        "--batch-lanes", type=int, default=64,
+        help="lockstep width of the batch executor (does not affect "
+        "results)",
     )
     fleet_run.add_argument(
         "--checkpoint", default=None, metavar="PATH",

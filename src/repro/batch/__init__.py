@@ -1,0 +1,27 @@
+"""Vectorized batch-session kernel.
+
+``run_session_batch`` advances many sessions in lockstep with numpy
+struct-of-arrays state, producing :class:`repro.experiment.harness.
+SessionShard` objects **bit-identical** to the scalar
+:func:`repro.experiment.harness.run_session` — same random draws, same
+float arithmetic, same record contents.  Sessions whose configuration is
+not vectorizable (non-vectorizable ABR scheme, CUBIC congestion control,
+telemetry or observability collection) transparently fall back to the
+scalar path, so the batch executor is always safe to enable.
+
+The equivalence contract is enforced by the differential suite in
+``tests/batch/`` (see EXPERIMENTS.md for the vectorizability criteria and
+the tolerance policy — there is none: equality is exact).
+"""
+
+from repro.batch.engine import (
+    VECTORIZABLE_SCHEME_TYPES,
+    is_vectorizable_algorithm,
+    run_session_batch,
+)
+
+__all__ = [
+    "VECTORIZABLE_SCHEME_TYPES",
+    "is_vectorizable_algorithm",
+    "run_session_batch",
+]

@@ -32,6 +32,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.abr.base import AbrAlgorithm
+from repro.batch import is_vectorizable_algorithm, run_session_batch
 from repro.analysis.bootstrap import ConfidenceInterval
 from repro.analysis.summary import SchemeSummary
 from repro.data.archive import ArchiveAppender
@@ -81,9 +82,26 @@ class FleetConfig:
     """Sessions per commit (and per checkpoint).  Not part of the
     fingerprint: any cadence reproduces the same dump."""
 
+    executor: str = "auto"
+    """Per-chunk session executor: ``"scalar"`` runs ``run_session`` per
+    arrival; ``"batch"`` runs each chunk through the vectorized
+    ``run_session_batch`` kernel (bit-identical shards — the dump does not
+    change); ``"auto"`` picks the batch kernel whenever it can help (no
+    telemetry collection and at least one vectorizable scheme).  A pure
+    execution knob: not part of the fingerprint."""
+
+    batch_lanes: int = 64
+    """Lockstep width for the batch executor (sessions advanced per vector
+    round).  Not part of the fingerprint: shards are bit-identical at any
+    lane count."""
+
     def __post_init__(self) -> None:
         if self.chunk_sessions < 1:
             raise ValueError("chunk_sessions must be >= 1")
+        if self.executor not in ("auto", "batch", "scalar"):
+            raise ValueError("executor must be 'auto', 'batch' or 'scalar'")
+        if self.batch_lanes < 1:
+            raise ValueError("batch_lanes must be >= 1")
 
     def fingerprint(self, specs: Sequence[SchemeSpec]) -> str:
         """Configuration identity for checkpoint compatibility.
@@ -91,7 +109,8 @@ class FleetConfig:
         Covers everything that changes the science: the workload, the
         per-session trial knobs (including the viewer/population models,
         via their stable dataclass reprs), and the scheme set.  Excludes
-        pure execution knobs (workers, chunk size, checkpoint cadence).
+        pure execution knobs (workers, chunk size, checkpoint cadence,
+        executor/batch lanes).
         """
         trial = self.trial
         trial_knobs = {
@@ -122,6 +141,7 @@ class FleetThroughput:
     wall_s: float
     commits: int
     checkpoints: int
+    executor: str = "scalar"
 
     @property
     def sessions_per_s(self) -> float:
@@ -132,7 +152,8 @@ class FleetThroughput:
             f"fleet throughput: {self.sessions} sessions "
             f"({self.streams} streams) in {self.wall_s:.2f}s "
             f"= {self.sessions_per_s:.1f} sessions/s "
-            f"[{self.mode}, workers={self.workers}, commits={self.commits}, "
+            f"[{self.mode}, workers={self.workers}, "
+            f"executor={self.executor}, commits={self.commits}, "
             f"checkpoints={self.checkpoints}]"
         )
 
@@ -290,15 +311,36 @@ def _simulate_chunk(
     expt_ids: Dict[str, int],
     algorithms: _AbrCache,
     items: Sequence[Tuple[int, float]],
+    executor: str = "scalar",
+    batch_lanes: int = 64,
 ) -> _FleetChunk:
-    """Simulate a contiguous chunk of arrivals into one exact sink delta."""
+    """Simulate a contiguous chunk of arrivals into one exact sink delta.
+
+    ``executor`` is the *resolved* executor ("scalar" or "batch" — never
+    "auto").  The batch kernel returns shards bit-identical to the scalar
+    path, so the folded delta (and therefore the dump) does not depend on
+    the choice.
+    """
     delta = FleetSink()
     telemetry = TelemetryLog() if config.collect_telemetry else None
     n_streams = 0
     # repro: allow-DET002(per-chunk busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
     start = time.perf_counter()
-    for session_id, time_s in items:
-        shard = run_session(specs, config, session_id, expt_ids, algorithms)
+    if executor == "batch":
+        shards: Sequence[SessionShard] = run_session_batch(
+            specs,
+            config,
+            [session_id for session_id, _ in items],
+            expt_ids,
+            algorithms,
+            lanes=batch_lanes,
+        )
+    else:
+        shards = [
+            run_session(specs, config, session_id, expt_ids, algorithms)
+            for session_id, _ in items
+        ]
+    for (session_id, time_s), shard in zip(items, shards):
         n_streams += _fold_session(
             delta, shard, SessionArrival(session_id=session_id, time_s=time_s)
         )
@@ -318,7 +360,7 @@ def _simulate_chunk(
 # Worker-side state: fork-inherited payload plus a lazily-built per-process
 # scheme-instance cache (instances are never shared across processes).
 _FLEET_PAYLOAD: Optional[
-    Tuple[List[SchemeSpec], TrialConfig, Dict[str, int]]
+    Tuple[List[SchemeSpec], TrialConfig, Dict[str, int], str, int]
 ] = None
 _FLEET_ALGORITHMS: Optional[_AbrCache] = None
 
@@ -327,11 +369,40 @@ def _run_fleet_chunk(items: Sequence[Tuple[int, float]]) -> _FleetChunk:
     global _FLEET_ALGORITHMS
     if _FLEET_PAYLOAD is None:
         raise RuntimeError("fleet worker payload missing (pool misconfigured)")
-    specs, config, expt_ids = _FLEET_PAYLOAD
+    specs, config, expt_ids, executor, batch_lanes = _FLEET_PAYLOAD
     if _FLEET_ALGORITHMS is None:
         # repro: allow-PURE001(per-process scheme cache; instances never cross a process boundary, mirrors experiment.parallel._WorkerState)
         _FLEET_ALGORITHMS = {spec.name: spec.build() for spec in specs}
-    return _simulate_chunk(specs, config, expt_ids, _FLEET_ALGORITHMS, items)
+    return _simulate_chunk(
+        specs,
+        config,
+        expt_ids,
+        _FLEET_ALGORITHMS,
+        items,
+        executor=executor,
+        batch_lanes=batch_lanes,
+    )
+
+
+def _resolve_executor(
+    executor: str, specs: Sequence[SchemeSpec], trial: TrialConfig
+) -> str:
+    """Resolve ``"auto"`` to a concrete chunk executor.
+
+    ``auto`` selects the batch kernel when it can actually vectorize
+    something: telemetry collection forces the kernel into per-session
+    scalar fallback (so there is nothing to gain), and so does a scheme
+    set with no vectorizable member.
+    """
+    if executor != "auto":
+        return executor
+    if trial.collect_telemetry:
+        return "scalar"
+    # Throwaway instances, used only for classification — the simulating
+    # instances are still built per process by the existing caches.
+    if any(is_vectorizable_algorithm(spec.build()) for spec in specs):
+        return "batch"
+    return "scalar"
 
 
 def _chunked(
@@ -484,6 +555,8 @@ def run_fleet(
             and next_session_id >= stop_after_sessions
         )
 
+    executor = _resolve_executor(config.executor, specs, trial)
+
     mode = "serial"
     ctx: Optional[multiprocessing.context.BaseContext] = None
     if workers > 1:
@@ -496,7 +569,7 @@ def run_fleet(
 
     if mode == "fork" and ctx is not None:
         global _FLEET_PAYLOAD
-        _FLEET_PAYLOAD = (specs, trial, expt_ids)
+        _FLEET_PAYLOAD = (specs, trial, expt_ids, executor, config.batch_lanes)
         try:
             with ctx.Pool(processes=workers) as pool:
                 # Ordered imap: chunk results stream back in session-id
@@ -514,7 +587,17 @@ def run_fleet(
     else:
         algorithms: _AbrCache = {spec.name: spec.build() for spec in specs}
         for items in chunks:
-            commit(_simulate_chunk(specs, trial, expt_ids, algorithms, items))
+            commit(
+                _simulate_chunk(
+                    specs,
+                    trial,
+                    expt_ids,
+                    algorithms,
+                    items,
+                    executor=executor,
+                    batch_lanes=config.batch_lanes,
+                )
+            )
             if should_stop():
                 stopped = True
                 break
@@ -540,6 +623,7 @@ def run_fleet(
             wall_s=wall,
             commits=commits,
             checkpoints=manager.saves if manager is not None else 0,
+            executor=executor,
         ),
         checkpoint_path=checkpoint_path,
         archive_dir=archive_dir,

@@ -25,12 +25,53 @@ MIN_CAPACITY = 1_000.0
 """Floor on link capacity (bits/s) so transmissions always terminate."""
 
 
+def epoch_index(t: float, epoch: float) -> int:
+    """Index of the epoch containing time ``t`` under width ``epoch``.
+
+    The naive ``int(t / epoch)`` is wrong exactly at epoch boundaries when
+    ``epoch`` is not representable in binary: for ``t = k * epoch`` the
+    division ``t / epoch`` can land just below ``k`` (it does so ~6% of the
+    time for ``epoch = 0.3``), silently returning the *previous* epoch's
+    capacity at the instant a new epoch begins.  Epoch ``i`` owns the
+    half-open interval ``[i * epoch, (i + 1) * epoch)``; this helper
+    truncates and then corrects by at most one step in either direction so
+    the interval rule holds exactly in float arithmetic.
+    """
+    if t < 0:
+        raise ValueError("time must be non-negative")
+    i = int(t / epoch)
+    if (i + 1) * epoch <= t:
+        i += 1
+    elif i > 0 and i * epoch > t:
+        i -= 1
+    return i
+
+
+def epoch_index_array(times: np.ndarray, epoch: float) -> np.ndarray:
+    """Vectorized :func:`epoch_index` (bit-identical for every element)."""
+    t = np.asarray(times, dtype=np.float64)
+    if t.size and float(t.min()) < 0:
+        raise ValueError("time must be non-negative")
+    idx = (t / epoch).astype(np.int64)
+    idx = np.where((idx + 1) * epoch <= t, idx + 1, idx)
+    idx = np.where((idx > 0) & (idx * epoch > t), idx - 1, idx)
+    return idx
+
+
 class LinkModel:
     """Abstract time-varying bottleneck."""
 
     def capacity_at(self, t: float) -> float:
         """Instantaneous capacity in bits/s at absolute time ``t >= 0``."""
         raise NotImplementedError
+
+    def capacity_batch(self, times: np.ndarray) -> np.ndarray:
+        """Capacities at a 1-D array of times (bit-identical to looping
+        :meth:`capacity_at`; subclasses override with vectorized math)."""
+        t = np.asarray(times, dtype=np.float64)
+        return np.array(
+            [self.capacity_at(float(v)) for v in t], dtype=np.float64
+        )
 
     def mean_capacity(self, horizon: float = 300.0, dt: float = 1.0) -> float:
         """Empirical mean capacity over ``[0, horizon)`` (diagnostics)."""
@@ -55,6 +96,12 @@ class ConstantLink(LinkModel):
         if t < 0:
             raise ValueError("time must be non-negative")
         return max(self.rate_bps, MIN_CAPACITY)
+
+    def capacity_batch(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=np.float64)
+        if t.size and float(t.min()) < 0:
+            raise ValueError("time must be non-negative")
+        return np.full(t.shape, max(self.rate_bps, MIN_CAPACITY))
 
 
 class TraceLink(LinkModel):
@@ -83,12 +130,24 @@ class TraceLink(LinkModel):
     def capacity_at(self, t: float) -> float:
         if t < 0:
             raise ValueError("time must be non-negative")
-        index = int(t / self.epoch)
+        index = epoch_index(t, self.epoch)
         if self.loop:
             index %= len(self.rates_bps)
         else:
+            # Past the end of a non-looping trace the link holds its last
+            # recorded rate (mahimahi would stall; holding keeps sessions
+            # terminating and is the documented contract).
             index = min(index, len(self.rates_bps) - 1)
         return self.rates_bps[index]
+
+    def capacity_batch(self, times: np.ndarray) -> np.ndarray:
+        idx = epoch_index_array(times, self.epoch)
+        n = len(self.rates_bps)
+        if self.loop:
+            idx = idx % n
+        else:
+            idx = np.minimum(idx, n - 1)
+        return np.asarray(self.rates_bps, dtype=np.float64)[idx]
 
 
 class _LazyEpochLink(LinkModel):
@@ -104,13 +163,28 @@ class _LazyEpochLink(LinkModel):
     def _next_epoch_capacity(self) -> float:
         raise NotImplementedError
 
+    def realize_through(self, index: int) -> None:
+        """Materialize epochs up to and including ``index``.
+
+        Realizing ahead is unobservable: the per-epoch generator is consumed
+        in the same order regardless of when epochs are materialized, so a
+        batch caller may prefetch a whole horizon at once.
+        """
+        while len(self._realized) <= index:
+            self._realized.append(max(self._next_epoch_capacity(), MIN_CAPACITY))
+
     def capacity_at(self, t: float) -> float:
         if t < 0:
             raise ValueError("time must be non-negative")
-        index = int(t / self.epoch)
-        while len(self._realized) <= index:
-            self._realized.append(max(self._next_epoch_capacity(), MIN_CAPACITY))
+        index = epoch_index(t, self.epoch)
+        self.realize_through(index)
         return self._realized[index]
+
+    def capacity_batch(self, times: np.ndarray) -> np.ndarray:
+        idx = epoch_index_array(times, self.epoch)
+        if idx.size:
+            self.realize_through(int(idx.max()))
+        return np.asarray(self._realized, dtype=np.float64)[idx]
 
 
 class MarkovLink(_LazyEpochLink):

@@ -12,6 +12,14 @@ from repro import obs
 MAX_BUFFER_S = 15.0
 """Puffer's client buffer cap in seconds of video."""
 
+BUFFER_EPSILON_S = 1e-9
+"""Float-tolerance on the buffer cap, shared by every occupancy comparison
+(and by the batch kernel in :mod:`repro.batch`).  ``room_for`` admits a
+chunk when ``level + duration <= cap + BUFFER_EPSILON_S`` and ``add`` only
+raises beyond the same slack, so a chunk admitted by ``room_for`` can never
+overflow ``add`` — the tolerances must stay one constant or accumulated
+rounding in ``level_s`` opens a gap between the two checks."""
+
 
 class PlaybackBuffer:
     """Seconds of downloaded-but-unplayed video.
@@ -32,7 +40,7 @@ class PlaybackBuffer:
         if duration_s <= 0:
             raise ValueError("chunk duration must be positive")
         self.level_s += duration_s
-        if self.level_s > self.max_buffer_s + 1e-9:
+        if self.level_s > self.max_buffer_s + BUFFER_EPSILON_S:
             raise RuntimeError(
                 "buffer overflow: server must pause before exceeding the cap"
             )
@@ -54,7 +62,7 @@ class PlaybackBuffer:
 
     def room_for(self, duration_s: float) -> bool:
         """Whether a chunk of ``duration_s`` fits under the cap."""
-        return self.level_s + duration_s <= self.max_buffer_s + 1e-9
+        return self.level_s + duration_s <= self.max_buffer_s + BUFFER_EPSILON_S
 
     def time_until_room(self, duration_s: float) -> float:
         """Playback time the server must wait before sending the next chunk."""

@@ -1,0 +1,174 @@
+"""Differential oracle: the batch kernel equals the scalar path bit for bit.
+
+Every case replays identical seeds through ``run_session`` and
+``run_session_batch`` and asserts dataclass equality of the shards — every
+chunk record, every float, every CONSORT counter.  There is no tolerance:
+any difference is either a kernel bug or a latent scalar-path bug (see
+EXPERIMENTS.md, "Batch execution backend").
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.bba import BBA
+from repro.abr.bola import Bola
+from repro.abr.mpc import MpcHm
+from repro.abr.rate_based import RateBased
+from repro.batch import is_vectorizable_algorithm, run_session_batch
+from repro.experiment.harness import TrialConfig, run_session
+from repro.experiment.presets import smoke_trial_config
+from repro.experiment.schemes import SchemeSpec
+from repro.fleet import FleetConfig, WorkloadConfig, run_fleet
+from repro.net.path import PopulationModel
+
+
+def spec(name, factory):
+    return SchemeSpec(
+        name=name, control="classical", predictor="n/a",
+        optimization_goal="per-scheme", how_trained="n/a", factory=factory,
+    )
+
+
+VECTORIZABLE = [
+    ("bba", BBA),
+    ("bola", Bola),
+    ("rate_based", RateBased),
+]
+
+
+def assert_equivalent(specs, config, session_ids, lanes):
+    shards = run_session_batch(specs, config, session_ids, lanes=lanes)
+    for sid, shard in zip(session_ids, shards):
+        assert shard == run_session(specs, config, sid), (
+            f"batch shard diverged from scalar for session {sid} "
+            f"(lanes={lanes})"
+        )
+
+
+class TestSchemeEquivalence:
+    @pytest.mark.parametrize("name,factory", VECTORIZABLE)
+    def test_each_vectorizable_scheme(self, name, factory):
+        config = smoke_trial_config(seed=9)
+        assert_equivalent([spec(name, factory)], config, range(10), lanes=4)
+
+    def test_mixed_specs_with_fallback_scheme(self):
+        # mpc_hm is not vectorizable: its sessions must transparently run
+        # on the scalar path inside the same batch call.
+        specs = [spec("bba", BBA), spec("mpc_hm", MpcHm)]
+        config = smoke_trial_config(seed=2)
+        assert_equivalent(specs, config, range(12), lanes=5)
+
+    def test_all_cubic_population_falls_back(self):
+        # CUBIC congestion control is not vectorized; every session takes
+        # the scalar fallback and the result must still be identical.
+        config = smoke_trial_config(seed=4)
+        config = TrialConfig(
+            n_sessions=config.n_sessions,
+            seed=config.seed,
+            population=PopulationModel(cubic_fraction=1.0),
+            viewer=config.viewer,
+        )
+        assert_equivalent([spec("bba", BBA)], config, range(6), lanes=4)
+
+    def test_vectorizability_classifier(self):
+        assert is_vectorizable_algorithm(BBA())
+        assert is_vectorizable_algorithm(Bola())
+        assert is_vectorizable_algorithm(RateBased())
+        assert not is_vectorizable_algorithm(MpcHm())
+
+
+class TestBatchShapeInvariance:
+    @pytest.mark.parametrize("lanes", [1, 2, 7, 64])
+    def test_any_lane_count(self, lanes):
+        config = smoke_trial_config(seed=13)
+        assert_equivalent([spec("bba", BBA)], config, range(9), lanes=lanes)
+
+    def test_non_contiguous_unordered_ids(self):
+        config = smoke_trial_config(seed=1)
+        specs = [spec("bola", Bola)]
+        ids = [5, 17, 2, 33]
+        shards = run_session_batch(specs, config, ids, lanes=3)
+        for sid, shard in zip(ids, shards):
+            assert shard == run_session(specs, config, sid)
+
+    def test_empty_ids(self):
+        assert run_session_batch(
+            [spec("bba", BBA)], smoke_trial_config(seed=0), []
+        ) == []
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            run_session_batch(
+                [spec("bba", BBA)], smoke_trial_config(seed=0), [0], lanes=0
+            )
+
+    def test_telemetry_config_falls_back(self):
+        config = smoke_trial_config(seed=6)
+        config = TrialConfig(
+            n_sessions=config.n_sessions,
+            seed=config.seed,
+            viewer=config.viewer,
+            collect_telemetry=True,
+        )
+        specs = [spec("bba", BBA)]
+        shards = run_session_batch(specs, config, range(3), lanes=2)
+        for sid, shard in zip(range(3), shards):
+            ref = run_session(specs, config, sid)
+            assert shard == ref
+            assert shard.telemetry is not None
+
+
+class TestRandomizedConfigs:
+    @given(
+        seed=st.integers(0, 10_000),
+        scheme=st.sampled_from(VECTORIZABLE),
+        median_rtt=st.floats(0.005, 0.2),
+        lanes=st.integers(1, 9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_config_equivalence(self, seed, scheme, median_rtt, lanes):
+        name, factory = scheme
+        config = TrialConfig(
+            n_sessions=200,
+            seed=seed,
+            population=PopulationModel(median_rtt=median_rtt),
+            viewer=smoke_trial_config().viewer,
+        )
+        assert_equivalent([spec(name, factory)], config, range(3), lanes=lanes)
+
+
+@pytest.mark.parallel_smoke
+class TestFleetByteIdentity:
+    """Fleet dumps are byte-identical with the batch executor on and off,
+    at any worker count (``pytest -m parallel_smoke``)."""
+
+    def _dump(self, executor, workers):
+        specs = [spec("bba", BBA), spec("mpc_hm", MpcHm)]
+        config = FleetConfig(
+            workload=WorkloadConfig(days=0.01, sessions_per_hour=120.0, seed=5),
+            trial=smoke_trial_config(seed=11),
+            chunk_sessions=4,
+            executor=executor,
+            batch_lanes=3,
+        )
+        result = run_fleet(specs, config, workers=workers)
+        assert result.throughput is not None
+        assert result.throughput.executor == (
+            "batch" if executor in ("batch", "auto") else "scalar"
+        )
+        return json.dumps(result.to_dump_dict(), sort_keys=True)
+
+    def test_dump_identical_across_executors_and_workers(self):
+        reference = self._dump("scalar", workers=1)
+        assert self._dump("batch", workers=1) == reference
+        assert self._dump("auto", workers=1) == reference
+        assert self._dump("batch", workers=2) == reference
+
+    def test_executor_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            FleetConfig(batch_lanes=0)

@@ -107,8 +107,19 @@ class TestMomentsProperties:
         assert m.mean() == pytest.approx(
             float(np.mean(values)), rel=1e-9, abs=1e-9
         )
-        se = float(np.std(values, ddof=1)) / math.sqrt(len(values))
-        assert m.standard_error() == pytest.approx(se, rel=1e-6, abs=1e-9)
+        # Exact reference: np.std's two-pass float64 computation loses up
+        # to ~4e-6 relative to catastrophic cancellation when the spread is
+        # tiny against the magnitude (e.g. three values near 7.3e11 spread
+        # by 0.03) — the streaming sink's exact-rational moments do not, so
+        # the reference must be computed in rational arithmetic too.
+        from fractions import Fraction
+
+        fr = [Fraction(v) for v in values]
+        n = len(fr)
+        fmean = sum(fr) / n
+        var = sum((x - fmean) ** 2 for x in fr) / (n - 1)
+        se = math.sqrt(float(var / n))
+        assert m.standard_error() == pytest.approx(se, rel=1e-12, abs=1e-12)
 
     @given(
         data=st.lists(

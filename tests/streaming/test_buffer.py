@@ -1,10 +1,14 @@
 """Tests for repro.streaming.buffer — playback buffer dynamics."""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.streaming.buffer import MAX_BUFFER_S, PlaybackBuffer
+from repro.streaming.buffer import (
+    BUFFER_EPSILON_S,
+    MAX_BUFFER_S,
+    PlaybackBuffer,
+)
 
 
 class TestPlaybackBuffer:
@@ -85,3 +89,53 @@ class TestPlaybackBuffer:
             total_stall += stall
             total_played += min(d, level_before)
         assert total_played + total_stall == pytest.approx(sum(drains))
+
+
+class TestEpsilonContract:
+    """``add()`` must never raise after ``room_for()`` said True.
+
+    Both checks share ``BUFFER_EPSILON_S``; a second, divergent tolerance
+    (the pre-unification state: a literal ``1e-9`` in one place and a
+    different slack in the other) opens a gap where accumulated rounding in
+    ``level_s`` passes one check and fails the other.
+    """
+
+    def test_single_named_epsilon(self):
+        assert BUFFER_EPSILON_S == 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.001, 4.0),
+                st.floats(0.0, 4.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_never_raises_after_room_for(self, operations):
+        buf = PlaybackBuffer()
+        for add_s, drain_s in operations:
+            if buf.room_for(add_s):
+                buf.add(add_s)  # must not raise: same epsilon as room_for
+            buf.drain(drain_s)
+
+    @given(st.floats(0.001, 15.0))
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_filling_chunk_admitted(self, first):
+        # The remainder computed as cap - level is admitted even when
+        # level + (cap - level) lands a rounding step above the cap.
+        buf = PlaybackBuffer()
+        buf.add(first)
+        rest = buf.max_buffer_s - buf.level_s
+        if rest > 0:
+            assert buf.room_for(rest)
+            buf.add(rest)
+
+    def test_beyond_epsilon_still_raises(self):
+        buf = PlaybackBuffer()
+        buf.add(MAX_BUFFER_S)
+        assert not buf.room_for(0.001)
+        with pytest.raises(RuntimeError):
+            buf.add(0.001)
