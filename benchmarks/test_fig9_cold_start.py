@@ -10,6 +10,8 @@ TTP reads the handshake RTT and the connection's TCP state — which, in this
 population as on the real Internet, correlate with path speed.
 """
 
+import math
+
 import numpy as np
 
 
@@ -60,3 +62,70 @@ def test_fig9_cold_start(benchmark, primary_trial):
     # ~0.55 s vs ~0.48 s; here the same sub-second order).
     assert startup["fugu"] < 4 * startup["bba"], startup
     assert startup["fugu"] < 2.0, startup
+
+
+def test_fig9_continual_cold_start_curve(tmp_path):
+    """Continual extension: instead of one frozen Fugu point, the
+    in-situ retraining service enrolls a fresh TTP generation at every
+    simulated day boundary, so the cold-start plot becomes a *curve* —
+    one (startup delay, first-chunk SSIM) point per model generation,
+    each measured only on the live traffic that generation served.
+    """
+    from repro.fleet import (
+        FleetConfig,
+        ModelRegistry,
+        RetrainConfig,
+        WorkloadConfig,
+        run_fleet_retrain,
+    )
+    from repro.core.ttp import TtpConfig
+    from repro.experiment.presets import smoke_trial_config
+
+    from tests.fleet.conftest import classical_specs
+
+    config = FleetConfig(
+        workload=WorkloadConfig(days=2.5, sessions_per_hour=2.0, seed=5),
+        trial=smoke_trial_config(seed=11),
+        chunk_sessions=8,
+    )
+    retrain = RetrainConfig(
+        ttp=TtpConfig(horizon=2), window_days=3, epochs_per_day=2, seed=0
+    )
+    result = run_fleet_retrain(
+        classical_specs(), config, retrain,
+        archive_dir=tmp_path / "archive",
+        registry_dir=tmp_path / "registry",
+    )
+    assert result.completed
+
+    registry = ModelRegistry(tmp_path / "registry")
+    assert len(registry) >= 2, "need at least two generations for a curve"
+
+    # Each generation enrolls for the *following* days, so every
+    # generation except the last served live traffic.
+    curve = []
+    for summary in result.summaries():
+        if not summary.scheme.startswith("fugu@g"):
+            continue
+        if summary.n_streams == 0:
+            continue
+        curve.append(
+            (
+                summary.scheme,
+                summary.startup_delay_s,
+                summary.first_chunk_ssim_db,
+                summary.n_streams,
+            )
+        )
+
+    print("\nFigure 9 (continual) — cold start per TTP generation")
+    print(f"{'Generation':<12}{'Startup s':>11}{'First SSIM dB':>15}"
+          f"{'N':>6}")
+    for arm, startup_s, first_db, n in curve:
+        print(f"{arm:<12}{startup_s:>11.3f}{first_db:>15.2f}{n:>6}")
+
+    assert len(curve) >= 2, curve
+    for arm, startup_s, first_db, n in curve:
+        assert n > 0
+        assert math.isfinite(startup_s) and startup_s >= 0.0, curve
+        assert math.isfinite(first_db), curve

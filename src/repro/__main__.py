@@ -376,20 +376,7 @@ def _fleet_config_from_args(args: argparse.Namespace):
     )
 
 
-def _run_fleet_from_args(args: argparse.Namespace, resume: bool) -> int:
-    from repro.fleet import run_fleet
-
-    specs, config = _fleet_config_from_args(args)
-    result = run_fleet(
-        specs,
-        config,
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        resume=resume,
-        archive_dir=args.archive_dir,
-        stop_after_sessions=args.stop_after,
-        cli_args=_fleet_cli_args(args),
-    )
+def _print_fleet_result(result, args: argparse.Namespace) -> int:
     if result.throughput is not None:
         print(result.throughput.format(), file=sys.stderr)
     print(result.format_table())
@@ -405,10 +392,98 @@ def _run_fleet_from_args(args: argparse.Namespace, resume: bool) -> int:
     return 0
 
 
+def _run_fleet_from_args(args: argparse.Namespace, resume: bool) -> int:
+    from repro.fleet import run_fleet
+
+    specs, config = _fleet_config_from_args(args)
+    result = run_fleet(
+        specs,
+        config,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=resume,
+        archive_dir=args.archive_dir,
+        stop_after_sessions=args.stop_after,
+        cli_args=_fleet_cli_args(args),
+    )
+    return _print_fleet_result(result, args)
+
+
+def _retrain_config_from_args(args: argparse.Namespace):
+    from repro.core.ttp import TtpConfig
+    from repro.fleet import RetrainConfig
+
+    return RetrainConfig(
+        ttp=TtpConfig(horizon=args.ttp_horizon),
+        window_days=args.window_days,
+        recency_decay=args.recency_decay,
+        epochs_per_day=args.epochs_per_day,
+        seed=args.retrain_seed,
+        arm_prefix=args.arm_prefix,
+    )
+
+
+def _fleet_retrain_cli_args(args: argparse.Namespace) -> dict:
+    """Retrain-run parameters recorded for ``repro fleet resume``."""
+    recorded = _fleet_cli_args(args)
+    recorded.update(
+        {
+            "mode": "retrain",
+            "registry_dir": args.registry,
+            "window_days": args.window_days,
+            "recency_decay": args.recency_decay,
+            "epochs_per_day": args.epochs_per_day,
+            "retrain_seed": args.retrain_seed,
+            "ttp_horizon": args.ttp_horizon,
+            "arm_prefix": args.arm_prefix,
+        }
+    )
+    return recorded
+
+
+def _run_fleet_retrain_from_args(args: argparse.Namespace, resume: bool) -> int:
+    from repro.fleet import run_fleet_retrain
+
+    specs, config = _fleet_config_from_args(args)
+    result = run_fleet_retrain(
+        specs,
+        config,
+        _retrain_config_from_args(args),
+        archive_dir=args.archive_dir,
+        registry_dir=args.registry,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=resume,
+        stop_after_sessions=args.stop_after,
+        cli_args=_fleet_retrain_cli_args(args),
+    )
+    status = _print_fleet_result(result, args)
+    print(
+        f"model registry: {args.registry} (inspect with: "
+        f"repro fleet models {args.registry})",
+        file=sys.stderr,
+    )
+    return status
+
+
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint")
     return _run_fleet_from_args(args, resume=args.resume)
+
+
+def _cmd_fleet_retrain(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint")
+    return _run_fleet_retrain_from_args(args, resume=args.resume)
+
+
+def _cmd_fleet_models(args: argparse.Namespace) -> int:
+    from repro.fleet import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    print(registry.format_table())
+    return 0
 
 
 def _cmd_fleet_resume(args: argparse.Namespace) -> int:
@@ -452,6 +527,15 @@ def _cmd_fleet_resume(args: argparse.Namespace) -> int:
         stop_after=args.stop_after,
         out=args.out,
     )
+    if stored.get("mode") == "retrain":
+        run_args.registry = str(stored["registry_dir"])
+        run_args.window_days = int(stored["window_days"])
+        run_args.recency_decay = float(stored["recency_decay"])
+        run_args.epochs_per_day = int(stored["epochs_per_day"])
+        run_args.retrain_seed = int(stored["retrain_seed"])
+        run_args.ttp_horizon = int(stored["ttp_horizon"])
+        run_args.arm_prefix = str(stored["arm_prefix"])
+        return _run_fleet_retrain_from_args(run_args, resume=True)
     return _run_fleet_from_args(run_args, resume=True)
 
 
@@ -577,83 +661,146 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
 
+    def add_fleet_run_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--days", type=float, default=1.0,
+            help="simulated calendar days of arrivals",
+        )
+        p.add_argument(
+            "--rate", type=float, default=60.0,
+            help="mean session arrivals per hour",
+        )
+        p.add_argument(
+            "--diurnal-amplitude", type=float, default=0.6,
+            help="relative depth of the day/night cycle in [0, 1]",
+        )
+        p.add_argument(
+            "--peak-hour", type=float, default=20.0,
+            help="hour of day (0-24) at which arrivals peak",
+        )
+        p.add_argument(
+            "--flash-crowd", type=_parse_flash_crowd, action="append",
+            default=[], metavar="DAY:HOURS:MULT",
+            help="add a flash crowd (start day : duration hours : rate "
+            "multiplier); repeatable",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0, help="workload (arrival) seed"
+        )
+        p.add_argument(
+            "--trial-seed", type=int, default=0,
+            help="per-session simulation seed",
+        )
+        p.add_argument(
+            "--schemes", nargs="+", default=["bba", "mpc_hm"],
+            choices=list(_FLEET_SCHEME_REGISTRY),
+            help="classical schemes to randomize between",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes (the dump is byte-identical at any "
+            "count)",
+        )
+        p.add_argument(
+            "--chunk-size", type=int, default=16,
+            help="sessions per commit/checkpoint (does not affect results)",
+        )
+        p.add_argument(
+            "--executor", choices=["auto", "batch", "scalar"],
+            default="auto",
+            help="chunk executor: the vectorized batch kernel, the scalar "
+            "session loop, or auto-select (the dump is byte-identical "
+            "either way)",
+        )
+        p.add_argument(
+            "--batch-lanes", type=int, default=64,
+            help="lockstep width of the batch executor (does not affect "
+            "results)",
+        )
+        p.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="crash-safe checkpoint file (enables kill + resume)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="continue from --checkpoint if it exists",
+        )
+        p.add_argument(
+            "--stop-after", type=int, default=None, metavar="N",
+            help="pause once N sessions are committed (resume later)",
+        )
+        p.add_argument(
+            "--out", default=None, metavar="PATH",
+            help="write the canonical metrics dump JSON here",
+        )
+
     fleet_run = fleet_sub.add_parser(
         "run", help="run a deployment simulation"
     )
-    fleet_run.add_argument(
-        "--days", type=float, default=1.0,
-        help="simulated calendar days of arrivals",
-    )
-    fleet_run.add_argument(
-        "--rate", type=float, default=60.0,
-        help="mean session arrivals per hour",
-    )
-    fleet_run.add_argument(
-        "--diurnal-amplitude", type=float, default=0.6,
-        help="relative depth of the day/night cycle in [0, 1]",
-    )
-    fleet_run.add_argument(
-        "--peak-hour", type=float, default=20.0,
-        help="hour of day (0-24) at which arrivals peak",
-    )
-    fleet_run.add_argument(
-        "--flash-crowd", type=_parse_flash_crowd, action="append",
-        default=[], metavar="DAY:HOURS:MULT",
-        help="add a flash crowd (start day : duration hours : rate "
-        "multiplier); repeatable",
-    )
-    fleet_run.add_argument(
-        "--seed", type=int, default=0, help="workload (arrival) seed"
-    )
-    fleet_run.add_argument(
-        "--trial-seed", type=int, default=0,
-        help="per-session simulation seed",
-    )
-    fleet_run.add_argument(
-        "--schemes", nargs="+", default=["bba", "mpc_hm"],
-        choices=list(_FLEET_SCHEME_REGISTRY),
-        help="classical schemes to randomize between",
-    )
-    fleet_run.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (the dump is byte-identical at any count)",
-    )
-    fleet_run.add_argument(
-        "--chunk-size", type=int, default=16,
-        help="sessions per commit/checkpoint (does not affect results)",
-    )
-    fleet_run.add_argument(
-        "--executor", choices=["auto", "batch", "scalar"], default="auto",
-        help="chunk executor: the vectorized batch kernel, the scalar "
-        "session loop, or auto-select (the dump is byte-identical "
-        "either way)",
-    )
-    fleet_run.add_argument(
-        "--batch-lanes", type=int, default=64,
-        help="lockstep width of the batch executor (does not affect "
-        "results)",
-    )
-    fleet_run.add_argument(
-        "--checkpoint", default=None, metavar="PATH",
-        help="crash-safe checkpoint file (enables kill + resume)",
-    )
-    fleet_run.add_argument(
-        "--resume", action="store_true",
-        help="continue from --checkpoint if it exists",
-    )
+    add_fleet_run_arguments(fleet_run)
     fleet_run.add_argument(
         "--archive-dir", default=None, metavar="DIR",
         help="stream the Appendix-B open-data CSV archive here",
     )
-    fleet_run.add_argument(
-        "--stop-after", type=int, default=None, metavar="N",
-        help="pause once N sessions are committed (resume later)",
-    )
-    fleet_run.add_argument(
-        "--out", default=None, metavar="PATH",
-        help="write the canonical metrics dump JSON here",
-    )
     fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_retrain = fleet_sub.add_parser(
+        "retrain",
+        help="deployment simulation with continual in-situ TTP retraining",
+        description=(
+            "Run the paper's learning-in-situ loop as a service: the fleet "
+            "streams telemetry to the open-data archive, the TTP is "
+            "retrained at every simulated day boundary on the archived "
+            "window (recency-weighted, warm-started), each generation is "
+            "committed to a versioned model registry with hash-chained "
+            "lineage, and every generation enrolls as a fresh RCT arm. "
+            "Registry, archive, and dump are byte-identical at any worker "
+            "count, either executor, and across kill -9 + resume."
+        ),
+    )
+    add_fleet_run_arguments(fleet_retrain)
+    fleet_retrain.add_argument(
+        "--archive-dir", required=True, metavar="DIR",
+        help="telemetry archive directory (mandatory: it is the training "
+        "set)",
+    )
+    fleet_retrain.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="versioned model-registry directory (one gen-NNNN.json per "
+        "committed generation)",
+    )
+    fleet_retrain.add_argument(
+        "--window-days", type=int, default=14,
+        help="sliding training window in simulated days (§4.3)",
+    )
+    fleet_retrain.add_argument(
+        "--recency-decay", type=float, default=0.9,
+        help="per-day-of-age multiplier on sample weights",
+    )
+    fleet_retrain.add_argument(
+        "--epochs-per-day", type=int, default=8,
+        help="training epochs per daily retraining",
+    )
+    fleet_retrain.add_argument(
+        "--retrain-seed", type=int, default=0,
+        help="base training seed (day d trains with seed + d)",
+    )
+    fleet_retrain.add_argument(
+        "--ttp-horizon", type=int, default=5,
+        help="TTP lookahead horizon (networks per generation)",
+    )
+    fleet_retrain.add_argument(
+        "--arm-prefix", default="fugu",
+        help="generation g enrolls as arm PREFIX@gNNN",
+    )
+    fleet_retrain.set_defaults(func=_cmd_fleet_retrain)
+
+    fleet_models = fleet_sub.add_parser(
+        "models",
+        help="print the lineage table of a model registry",
+    )
+    fleet_models.add_argument("registry", metavar="DIR")
+    fleet_models.set_defaults(func=_cmd_fleet_models)
 
     fleet_resume = fleet_sub.add_parser(
         "resume",

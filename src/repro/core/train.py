@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.features import FEATURE_DIM
 from repro.core.ttp import TransmissionTimePredictor
 from repro.learn.losses import SoftmaxCrossEntropy
 from repro.learn.optim import Adam
@@ -32,11 +33,30 @@ RETRAIN_WINDOW_DAYS = 14
 RECENCY_DECAY = 0.9
 """Per-day-of-age multiplier on sample weights within the window."""
 
+_EVAL_STREAM = 0xE7A1
+"""Domain-separation constant for held-out-evaluation RNG streams.
+
+Evaluation must never perturb training: the shuffle order of every epoch is
+drawn from the trainer's seeded generator, so an evaluation path that shared
+that generator (e.g. for a validation split) would silently change the model
+that subsequent training produces.  Any randomized evaluation therefore
+derives its generator from ``(seed, _EVAL_STREAM, ...)`` — disjoint from
+every training draw by construction."""
+
+
+def _empty_dataset() -> Dataset:
+    return Dataset(
+        np.zeros((0, FEATURE_DIM)),
+        np.zeros(0, dtype=int),
+        np.zeros(0),
+    )
+
 
 def build_ttp_datasets(
     streams: Sequence[StreamResult],
     predictor: TransmissionTimePredictor,
     sample_weight: float = 1.0,
+    allow_empty: bool = False,
 ) -> List[Dataset]:
     """Turn stream telemetry into one supervised dataset per horizon step.
 
@@ -44,6 +64,11 @@ def build_ttp_datasets(
     when chunk ``i`` was decided — history of the preceding chunks plus the
     ``tcp_info`` snapshot — combined with the *size of chunk i+k*, and
     (b) the discretized actual transmission time of chunk ``i+k``.
+
+    A horizon step with no examples (every stream shorter than ``k+1``
+    chunks) raises by default; with ``allow_empty=True`` it yields an empty
+    dataset instead, so per-day datasets from a sparse deployment day can
+    still be pooled across a retraining window.
     """
     horizon = predictor.config.horizon
     features: List[List[np.ndarray]] = [[] for _ in range(horizon)]
@@ -66,6 +91,9 @@ def build_ttp_datasets(
     datasets: List[Dataset] = []
     for k in range(horizon):
         if not features[k]:
+            if allow_empty:
+                datasets.append(_empty_dataset())
+                continue
             raise ValueError(
                 f"no training examples for horizon step {k}; need longer streams"
             )
@@ -127,8 +155,35 @@ class TtpTrainer:
             reports.append(trainer.fit(dataset, validation=val))
         return reports
 
+    def holdout_split(
+        self,
+        datasets: Sequence[Dataset],
+        validation_fraction: float = 0.2,
+    ) -> "Tuple[List[Dataset], List[Dataset]]":
+        """Split every horizon step's dataset into (train, held-out) parts.
+
+        The split generator is derived from ``(seed, _EVAL_STREAM, step)``
+        — domain-separated from every training draw (``Trainer`` seeds its
+        shuffle generator with ``seed + step``), so carving out an
+        evaluation set can never change which permutations training sees.
+        """
+        train_parts: List[Dataset] = []
+        held_parts: List[Dataset] = []
+        for k, dataset in enumerate(datasets):
+            rng = np.random.default_rng((self.seed, _EVAL_STREAM, k))
+            train, held = dataset.split(validation_fraction, rng)
+            train_parts.append(train)
+            held_parts.append(held)
+        return train_parts, held_parts
+
     def evaluate(self, dataset: Dataset, step: int = 0) -> TtpEvaluation:
-        """Fig. 7 metrics on held-out data for one horizon step."""
+        """Fig. 7 metrics on held-out data for one horizon step.
+
+        Determinism contract: evaluation is a pure forward pass — it draws
+        from no generator and mutates no trainer or model state, so
+        ``train(); evaluate(); train()`` equals ``train(); train()``
+        *exactly* (``tests/core/test_train_determinism.py`` locks this in).
+        """
         model = self.predictor.models[step]
         probs = model.predict_proba(dataset.features)
         y = np.asarray(dataset.targets, dtype=int)
@@ -203,14 +258,65 @@ class DailyRetrainer:
         return self._day_counter
 
     def add_day(self, streams: Sequence[StreamResult]) -> None:
-        """Ingest one day of telemetry."""
+        """Ingest one day of telemetry (an empty day still advances the
+        calendar, so recency weights measure real days of age)."""
         self._day_counter += 1
         self._days.append((self._day_counter, list(streams)))
 
-    def retrain(self) -> List[TrainingReport]:
-        """Retrain on the window, recency-weighted, warm-started."""
+    def window_state(self) -> List[Tuple[int, List[StreamResult]]]:
+        """The retained (day_number, streams) window, oldest first — what a
+        crash-safe service persists (as archive byte-ranges) to rebuild the
+        retrainer after a resume."""
+        return [(day, list(streams)) for day, streams in self._days]
+
+    @classmethod
+    def restore(
+        cls,
+        predictor: TransmissionTimePredictor,
+        day_counter: int,
+        days: Sequence[Tuple[int, Sequence[StreamResult]]],
+        window_days: int = RETRAIN_WINDOW_DAYS,
+        recency_decay: float = RECENCY_DECAY,
+        epochs_per_day: int = 8,
+        seed: int = 0,
+    ) -> "DailyRetrainer":
+        """Rebuild a retrainer mid-deployment.
+
+        ``days`` is the surviving window in ingestion order; ``day_counter``
+        is the total number of days ever ingested (it keys the per-day
+        training seed, so a restored retrainer's next generation is
+        bit-identical to the uninterrupted run's).
+        """
+        if day_counter < 0:
+            raise ValueError("day_counter must be >= 0")
+        if len(days) > min(window_days, day_counter):
+            raise ValueError("more retained days than the window allows")
+        retrainer = cls(
+            predictor,
+            window_days=window_days,
+            recency_decay=recency_decay,
+            epochs_per_day=epochs_per_day,
+            seed=seed,
+        )
+        last = day_counter - len(days)
+        for day, streams in days:
+            if day <= last:
+                raise ValueError("retained days must be increasing")
+            last = day
+        if days and last != day_counter:
+            raise ValueError("window must end at day_counter")
+        retrainer._days.extend(
+            (int(day), list(streams)) for day, streams in days
+        )
+        retrainer._day_counter = int(day_counter)
+        return retrainer
+
+    def window_datasets(self) -> Optional[List[Dataset]]:
+        """Recency-weighted pooled datasets over the retained window, or
+        ``None`` while some horizon step still has no example anywhere in
+        the window (the deployment's first sparse days)."""
         if not self._days:
-            raise RuntimeError("no telemetry ingested yet")
+            return None
         per_step: List[List[Dataset]] = [
             [] for _ in range(self.predictor.config.horizon)
         ]
@@ -220,11 +326,26 @@ class DailyRetrainer:
             if not streams:
                 continue
             day_sets = build_ttp_datasets(
-                streams, self.predictor, sample_weight=weight
+                streams, self.predictor, sample_weight=weight,
+                allow_empty=True,
             )
             for k, ds in enumerate(day_sets):
-                per_step[k].append(ds)
-        datasets = [Dataset.concatenate(parts) for parts in per_step]
+                if len(ds):
+                    per_step[k].append(ds)
+        if any(not parts for parts in per_step):
+            return None
+        return [Dataset.concatenate(parts) for parts in per_step]
+
+    def retrain(self) -> List[TrainingReport]:
+        """Retrain on the window, recency-weighted, warm-started."""
+        if not self._days:
+            raise RuntimeError("no telemetry ingested yet")
+        datasets = self.window_datasets()
+        if datasets is None:
+            raise ValueError(
+                "no training examples for some horizon step in the window; "
+                "need longer streams"
+            )
         trainer = TtpTrainer(
             self.predictor,
             epochs=self.epochs_per_day,

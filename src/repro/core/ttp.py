@@ -89,6 +89,28 @@ class TtpConfig:
     def n_output_bins(self) -> int:
         return N_THROUGHPUT_BINS if self.predict_throughput else N_TIME_BINS
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (model registry, checkpoint fingerprints)."""
+        return {
+            "horizon": self.horizon,
+            "hidden": list(self.hidden),
+            "point_estimate": self.point_estimate,
+            "predict_throughput": self.predict_throughput,
+            "ablated_features": sorted(self.ablated_features),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TtpConfig":
+        return cls(
+            horizon=int(data["horizon"]),
+            hidden=tuple(int(h) for h in data["hidden"]),
+            point_estimate=bool(data["point_estimate"]),
+            predict_throughput=bool(data["predict_throughput"]),
+            ablated_features=frozenset(
+                str(f) for f in data["ablated_features"]
+            ),
+        )
+
     def feature_mask(self) -> np.ndarray:
         """0/1 mask over the 22 input features; ablated columns are zeroed
         at both training and inference time."""
@@ -219,13 +241,7 @@ class TransmissionTimePredictor:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         return {
-            "config": {
-                "horizon": self.config.horizon,
-                "hidden": list(self.config.hidden),
-                "point_estimate": self.config.point_estimate,
-                "predict_throughput": self.config.predict_throughput,
-                "ablated_features": sorted(self.config.ablated_features),
-            },
+            "config": self.config.to_dict(),
             # The in-situ tail calibration (calibrate_tail) is part of the
             # trained model: a frozen snapshot that dropped it would plan
             # with the uncalibrated 9.75 s tail center and mis-weight deep
@@ -250,3 +266,17 @@ class TransmissionTimePredictor:
         clone = TransmissionTimePredictor(self.config)
         clone.load_state_dict(self.state_dict())
         return clone
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TransmissionTimePredictor":
+        """Rebuild a predictor from a saved :meth:`state_dict`.
+
+        The model-registry load path: JSON float serialization round-trips
+        exactly (``repr``/``float`` are inverses for binary64), so a
+        predictor reloaded from the registry is *bitwise* identical to the
+        one that was committed — which is what makes warm-started continual
+        retraining reproducible across kill/resume.
+        """
+        predictor = cls(TtpConfig.from_dict(state["config"]))
+        predictor.load_state_dict(state)
+        return predictor

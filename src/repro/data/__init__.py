@@ -11,7 +11,9 @@ from repro.data.archive import (
     ArchiveAppender,
     ArchiveDay,
     load_archive_day,
+    read_telemetry_slice,
     reconstruct_streams,
+    reconstruct_training_streams,
     write_archive_day,
 )
 
@@ -20,5 +22,7 @@ __all__ = [
     "ArchiveDay",
     "write_archive_day",
     "load_archive_day",
+    "read_telemetry_slice",
     "reconstruct_streams",
+    "reconstruct_training_streams",
 ]

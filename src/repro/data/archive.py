@@ -19,10 +19,11 @@ accounting.
 from __future__ import annotations
 
 import csv
+import io
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.streaming.telemetry import (
     BufferEvent,
@@ -31,6 +32,9 @@ from repro.streaming.telemetry import (
     VideoAckedRecord,
     VideoSentRecord,
 )
+
+if TYPE_CHECKING:  # typing only; avoids importing the simulator eagerly
+    from repro.streaming.session import StreamResult
 
 _SENT_COLUMNS = [
     "time", "stream_id", "expt_id", "chunk_index", "size", "ssim_index",
@@ -174,6 +178,40 @@ class ArchiveAppender:
             f.flush()
             f.truncate(int(offsets[name]))
             f.seek(0, os.SEEK_END)
+
+    # ------------------------------------------------------------------
+    # Streaming reads (the continual-retraining consumer)
+    # ------------------------------------------------------------------
+    def read_slice(
+        self,
+        start_offsets: Dict[str, int],
+        end_offsets: Optional[Dict[str, int]] = None,
+    ) -> TelemetryLog:
+        """Rows appended between two recorded :meth:`offsets` snapshots.
+
+        Flushes first so everything appended so far is visible; omitting
+        ``end_offsets`` reads through the current end of each table.
+        """
+        self.flush()
+        return read_telemetry_slice(
+            self.day.directory, start_offsets, end_offsets
+        )
+
+    def reconstruct_streams(
+        self,
+        start_offsets: Dict[str, int],
+        end_offsets: Optional[Dict[str, int]] = None,
+    ) -> "List[StreamResult]":
+        """Training streams for one byte-range window of the archive.
+
+        The incremental counterpart of
+        :func:`reconstruct_training_streams`: the continual retrainer records
+        :meth:`offsets` at each simulated-day boundary and consumes exactly
+        the rows committed during that day.
+        """
+        return reconstruct_training_streams(
+            self.read_slice(start_offsets, end_offsets)
+        )
 
     def close(self) -> None:
         for _, f in sorted(self._files.items()):
@@ -334,3 +372,179 @@ def reconstruct_streams(telemetry: TelemetryLog) -> Dict[int, ArchivedStream]:
         stream.total_stall_s = max(stream.total_stall_s, record.cum_rebuf)
 
     return streams
+
+
+# ---------------------------------------------------------------------------
+# Byte-range reads (crash-safe streaming consumers)
+# ---------------------------------------------------------------------------
+def _parse_slice_rows(
+    path: Path, start: int, end: Optional[int], n_columns: int
+) -> List[List[str]]:
+    """CSV rows in ``[start, end)`` of one table file.
+
+    Offsets must come from :meth:`ArchiveAppender.offsets` (recorded after a
+    flush), which always land on row boundaries; a slice that starts at 0
+    would include the header, so callers record their first offset right
+    after the appender writes it.
+    """
+    if not path.exists():
+        raise FileNotFoundError(f"missing archive table: {path}")
+    with open(path, "rb") as f:
+        f.seek(int(start))
+        data = f.read() if end is None else f.read(max(int(end) - int(start), 0))
+    rows: List[List[str]] = []
+    for row in csv.reader(io.StringIO(data.decode("utf-8"), newline="")):
+        if not row:
+            continue
+        if len(row) != n_columns:
+            raise ValueError(
+                f"{path}: slice [{start}, {end}) is not row-aligned "
+                f"(got {len(row)} fields, expected {n_columns})"
+            )
+        rows.append(row)
+    return rows
+
+
+def read_telemetry_slice(
+    directory: Union[str, Path],
+    start_offsets: Dict[str, int],
+    end_offsets: Optional[Dict[str, int]] = None,
+) -> TelemetryLog:
+    """Load the archive rows appended between two byte-offset snapshots.
+
+    This is what lets a consumer (the continual TTP retrainer) process the
+    archive *as it is written* at constant memory: the fleet checkpoint
+    records :meth:`ArchiveAppender.offsets` at each simulated-day boundary,
+    and the day's telemetry is exactly the rows between consecutive
+    snapshots — no timestamps needed (telemetry times are session-relative)
+    and no re-reading of earlier days.
+    """
+    day = ArchiveDay.in_directory(directory)
+    tables = {
+        "video_sent": (day.video_sent, _SENT_COLUMNS),
+        "video_acked": (day.video_acked, _ACKED_COLUMNS),
+        "client_buffer": (day.client_buffer, _BUFFER_COLUMNS),
+    }
+    telemetry = TelemetryLog()
+    for name in sorted(tables):
+        path, columns = tables[name]
+        if name not in start_offsets:
+            raise ValueError(f"no start offset for table {name!r}")
+        end = None if end_offsets is None else int(end_offsets[name])
+        rows = _parse_slice_rows(path, start_offsets[name], end, len(columns))
+        if name == "video_sent":
+            for row in rows:
+                telemetry.video_sent.append(
+                    VideoSentRecord(
+                        time=float(row[0]),
+                        stream_id=int(row[1]),
+                        expt_id=int(row[2]),
+                        chunk_index=int(row[3]),
+                        size=float(row[4]),
+                        ssim_index=float(row[5]),
+                        cwnd=float(row[6]),
+                        in_flight=float(row[7]),
+                        min_rtt=float(row[8]),
+                        rtt=float(row[9]),
+                        delivery_rate=float(row[10]),
+                    )
+                )
+        elif name == "video_acked":
+            for row in rows:
+                telemetry.video_acked.append(
+                    VideoAckedRecord(
+                        time=float(row[0]),
+                        stream_id=int(row[1]),
+                        expt_id=int(row[2]),
+                        chunk_index=int(row[3]),
+                    )
+                )
+        else:
+            for row in rows:
+                telemetry.client_buffer.append(
+                    ClientBufferRecord(
+                        time=float(row[0]),
+                        stream_id=int(row[1]),
+                        expt_id=int(row[2]),
+                        event=BufferEvent(row[3]),
+                        buffer=float(row[4]),
+                        cum_rebuf=float(row[5]),
+                    )
+                )
+    return telemetry
+
+
+# ---------------------------------------------------------------------------
+# Training-stream reconstruction (archive rows -> StreamResult)
+# ---------------------------------------------------------------------------
+def reconstruct_training_streams(
+    telemetry: TelemetryLog,
+) -> "List[StreamResult]":
+    """Rebuild full :class:`~repro.streaming.session.StreamResult` objects
+    — ordered chunk records with their ``tcp_info`` snapshots — from the
+    archive tables, ready for :func:`repro.core.train.build_ttp_datasets`.
+
+    This is the in-situ training data path of §4.3: the TTP learns from
+    what the *deployment logged*, not from simulator internals.  The join
+    follows the same tolerance rules as :func:`reconstruct_streams` (any
+    row order, earliest duplicate ack wins, orphan and time-travelling acks
+    dropped), so the reconstructed training set is a pure function of the
+    archive's row *set*.  Fields the archive cannot recover are left
+    neutral: ``rung`` is -1 (the ladder index never reaches the archive)
+    and per-stream playback accounting stays at its defaults — neither is
+    consumed by feature extraction, labeling, or tail calibration.
+    """
+    from repro.media import ssim_index_to_db
+    from repro.net.tcp import TcpInfo
+    from repro.streaming.session import StreamResult
+
+    sent_by_key: Dict[Tuple[int, int], VideoSentRecord] = {}
+    for record in telemetry.video_sent:
+        sent_by_key[(record.stream_id, record.chunk_index)] = record
+
+    ack_times: Dict[Tuple[int, int], float] = {}
+    for acked in telemetry.video_acked:
+        key = (acked.stream_id, acked.chunk_index)
+        sent = sent_by_key.get(key)
+        if sent is None:
+            continue  # chunk never fully delivered before the viewer left
+        if acked.time - sent.time < 0:
+            continue  # misordered/corrupt row: acked before it was sent
+        previous = ack_times.get(key)
+        if previous is not None and previous <= acked.time:
+            continue  # duplicate ack: keep the earliest complete delivery
+        ack_times[key] = acked.time
+
+    from repro.abr.base import ChunkRecord
+
+    records_by_stream: Dict[int, List[ChunkRecord]] = {}
+    expt_by_stream: Dict[int, int] = {}
+    for (stream_id, chunk_index), ack_time in sorted(ack_times.items()):
+        sent = sent_by_key[(stream_id, chunk_index)]
+        expt_by_stream[stream_id] = sent.expt_id
+        records_by_stream.setdefault(stream_id, []).append(
+            ChunkRecord(
+                chunk_index=chunk_index,
+                rung=-1,
+                size_bytes=sent.size,
+                ssim_db=ssim_index_to_db(sent.ssim_index),
+                transmission_time=ack_time - sent.time,
+                info_at_send=TcpInfo(
+                    cwnd=sent.cwnd,
+                    in_flight=sent.in_flight,
+                    min_rtt=sent.min_rtt,
+                    rtt=sent.rtt,
+                    delivery_rate=sent.delivery_rate,
+                ),
+                send_time=sent.time,
+            )
+        )
+
+    return [
+        StreamResult(
+            stream_id,
+            f"expt_{expt_by_stream[stream_id]}",
+            records=records,
+        )
+        for stream_id, records in sorted(records_by_stream.items())
+    ]

@@ -105,6 +105,28 @@ def primary_experiment_schemes(
     return specs
 
 
+def generation_scheme_spec(
+    name: str, predictor: TransmissionTimePredictor
+) -> SchemeSpec:
+    """One continually-retrained TTP generation as a fresh RCT arm.
+
+    The continual retraining service (:mod:`repro.fleet.retrain`) enrolls
+    every committed model generation under its own arm name, so the RCT
+    compares generations against each other and against the classical
+    baselines — extending the Fig. 9 cold-start plot into a continuous
+    curve.  Each build gets a *copy* of the frozen generation predictor:
+    arm instances never share mutable model state.
+    """
+    return SchemeSpec(
+        name=name,
+        control="classical (MPC)",
+        predictor="learned (DNN)",
+        optimization_goal="+SSIM, -stalls, -dSSIM",
+        how_trained="continual supervised learning in situ",
+        factory=lambda: Fugu(predictor.copy(), name=name),
+    )
+
+
 def scheme_table(specs: List[SchemeSpec]) -> Dict[str, Dict[str, str]]:
     """Render the registry as the Fig. 5 table (name -> feature columns)."""
     return {

@@ -20,7 +20,12 @@ from fixed-size batch runs.  ``repro.fleet`` turns the batch trial of
 * :mod:`repro.fleet.runner` — the driver: reuses the pure
   :func:`repro.experiment.harness.run_session`, shards chunks across a
   forked process pool, commits results in session-id order, and checkpoints
-  after every committed chunk.
+  after every committed chunk;
+* :mod:`repro.fleet.retrain` — the continual learning-in-situ service:
+  consumes the streamed telemetry archive at simulated day boundaries,
+  retrains the TTP per day (recency-weighted, warm-started), versions each
+  generation in an on-disk :class:`ModelRegistry` with checkpointed
+  lineage, and enrolls every generation as a fresh arm in the running RCT.
 
 Determinism contract: the final metrics dump is **byte-identical** for the
 same :class:`FleetConfig` regardless of worker count, of checkpoint cadence,
@@ -35,6 +40,14 @@ from repro.fleet.checkpoint import (
     CheckpointError,
     CheckpointManager,
     FleetCheckpoint,
+)
+from repro.fleet.retrain import (
+    REGISTRY_SCHEMA_VERSION,
+    GenerationEntry,
+    ModelRegistry,
+    RegistryError,
+    RetrainConfig,
+    run_fleet_retrain,
 )
 from repro.fleet.runner import (
     FleetConfig,
@@ -70,6 +83,11 @@ __all__ = [
     "FleetResult",
     "FleetSink",
     "FleetThroughput",
+    "GenerationEntry",
+    "ModelRegistry",
+    "REGISTRY_SCHEMA_VERSION",
+    "RegistryError",
+    "RetrainConfig",
     "SessionArrival",
     "StreamingMoments",
     "StreamingSchemeSink",
@@ -78,4 +96,5 @@ __all__ = [
     "WorkloadGenerator",
     "format_sink_table",
     "run_fleet",
+    "run_fleet_retrain",
 ]

@@ -419,6 +419,72 @@ def _chunked(
         yield chunk
 
 
+def _fork_context(
+    workers: int,
+) -> Optional[multiprocessing.context.BaseContext]:
+    """The fork context for pool execution, or ``None`` to run in-process
+    (single worker, or a platform without fork)."""
+    if workers <= 1:
+        return None
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
+def _execute_chunks(
+    specs: Sequence[SchemeSpec],
+    trial: TrialConfig,
+    expt_ids: Dict[str, int],
+    executor: str,
+    batch_lanes: int,
+    chunks: Iterator[List[Tuple[int, float]]],
+    workers: int,
+) -> Iterator[_FleetChunk]:
+    """Execute chunks in session-id order, yielding each exact delta.
+
+    The shared execution core of :func:`run_fleet` and the continual
+    retraining driver (:mod:`repro.fleet.retrain`).  The retrainer calls it
+    once per day segment: the pool payload (scheme specs, expt ids) is
+    fork-inherited at pool creation, so a fresh pool is required whenever a
+    new model generation enrolls as an arm.
+
+    With ``workers > 1`` on a fork platform, chunks run on a process pool
+    and stream back via ordered ``imap``; abandoning the generator early
+    (``close()`` after a pause) tears the pool down via the context
+    manager.  Otherwise chunks run in-process against a per-call scheme
+    cache.  Either way the yielded deltas are bit-identical.
+    """
+    ctx = _fork_context(workers)
+    if ctx is not None:
+        global _FLEET_PAYLOAD
+        _FLEET_PAYLOAD = (
+            list(specs), trial, dict(expt_ids), executor, batch_lanes
+        )
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                # Ordered imap: chunk results stream back in session-id
+                # order and are merged + discarded one at a time.
+                for chunk_result in pool.imap(
+                    _run_fleet_chunk, chunks, chunksize=1
+                ):
+                    yield chunk_result
+        finally:
+            _FLEET_PAYLOAD = None
+    else:
+        algorithms: _AbrCache = {spec.name: spec.build() for spec in specs}
+        for items in chunks:
+            yield _simulate_chunk(
+                specs,
+                trial,
+                expt_ids,
+                algorithms,
+                items,
+                executor=executor,
+                batch_lanes=batch_lanes,
+            )
+
+
 # ---------------------------------------------------------------------------
 # The driver.
 # ---------------------------------------------------------------------------
@@ -556,51 +622,21 @@ def run_fleet(
         )
 
     executor = _resolve_executor(config.executor, specs, trial)
+    mode = "fork" if _fork_context(workers) is not None else "serial"
 
-    mode = "serial"
-    ctx: Optional[multiprocessing.context.BaseContext] = None
-    if workers > 1:
-        try:
-            ctx = multiprocessing.get_context("fork")
-            mode = "fork"
-        except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = None
-            mode = "serial"
-
-    if mode == "fork" and ctx is not None:
-        global _FLEET_PAYLOAD
-        _FLEET_PAYLOAD = (specs, trial, expt_ids, executor, config.batch_lanes)
-        try:
-            with ctx.Pool(processes=workers) as pool:
-                # Ordered imap: chunk results stream back in session-id
-                # order and are merged + discarded one at a time.
-                for chunk_result in pool.imap(
-                    _run_fleet_chunk, chunks, chunksize=1
-                ):
-                    commit(chunk_result)
-                    if should_stop():
-                        stopped = True
-                        pool.terminate()
-                        break
-        finally:
-            _FLEET_PAYLOAD = None
-    else:
-        algorithms: _AbrCache = {spec.name: spec.build() for spec in specs}
-        for items in chunks:
-            commit(
-                _simulate_chunk(
-                    specs,
-                    trial,
-                    expt_ids,
-                    algorithms,
-                    items,
-                    executor=executor,
-                    batch_lanes=config.batch_lanes,
-                )
-            )
+    chunk_results = _execute_chunks(
+        specs, trial, expt_ids, executor, config.batch_lanes, chunks, workers
+    )
+    try:
+        for chunk_result in chunk_results:
+            commit(chunk_result)
             if should_stop():
                 stopped = True
                 break
+    finally:
+        # Deterministic teardown: closing the generator terminates the
+        # pool (if any) at the pause point instead of at GC time.
+        chunk_results.close()
 
     completed = not stopped
     save_checkpoint(completed=completed)
@@ -616,7 +652,7 @@ def run_fleet(
         next_session_id=next_session_id,
         completed=completed,
         throughput=FleetThroughput(
-            mode=mode if workers > 1 else "serial",
+            mode=mode,
             workers=workers,
             sessions=sessions_this_run,
             streams=streams_this_run,

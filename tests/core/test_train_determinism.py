@@ -1,0 +1,175 @@
+"""Evaluation must never perturb training (satellite of the continual loop).
+
+The continual retraining service interleaves evaluation (per-generation
+registry metrics) with training (the next day's warm-started retrain).  If
+evaluation consumed even one draw from a training generator, the registry
+would depend on *whether* metrics were computed — and a resumed run (which
+recomputes them) would diverge from an uninterrupted one.  These tests lock
+the contract: ``train(); evaluate(); train()`` equals ``train(); train()``
+exactly, evaluation is a pure function, and any randomized evaluation
+helper (the holdout split) draws from a domain-separated generator.
+"""
+
+import json
+
+import numpy as np
+
+from repro.abr.base import ChunkRecord
+from repro.core.train import (
+    DailyRetrainer,
+    TtpTrainer,
+    _EVAL_STREAM,
+    build_ttp_datasets,
+)
+from repro.core.ttp import TransmissionTimePredictor, TtpConfig
+from repro.learn.losses import SoftmaxCrossEntropy
+from repro.learn.training import Trainer
+from repro.net.tcp import TcpInfo
+from repro.streaming.session import StreamResult
+
+
+def info(delivery_rate=5e6):
+    return TcpInfo(cwnd=20, in_flight=5, min_rtt=0.04, rtt=0.05,
+                   delivery_rate=delivery_rate)
+
+
+def make_stream(n_chunks=20, stream_id=0, tx=1.0):
+    records = [
+        ChunkRecord(
+            chunk_index=i, rung=5, size_bytes=500_000 + 1000 * i,
+            ssim_db=15.0, transmission_time=tx + 0.03 * (i % 7),
+            info_at_send=info(), send_time=i * 2.0,
+        )
+        for i in range(n_chunks)
+    ]
+    return StreamResult(stream_id, "x", records=records)
+
+
+def canonical(predictor):
+    return json.dumps(predictor.state_dict(), sort_keys=True)
+
+
+def fresh_setup(horizon=2, seed=3):
+    ttp = TransmissionTimePredictor(TtpConfig(horizon=horizon), seed=seed)
+    streams = [
+        make_stream(24, stream_id=i, tx=0.8 + 0.15 * i) for i in range(4)
+    ]
+    return ttp, build_ttp_datasets(streams, ttp)
+
+
+class TestEvaluateDoesNotPerturbTraining:
+    def test_train_eval_train_equals_train_train(self):
+        # Run A: train -> evaluate every step -> train again.
+        ttp_a, datasets_a = fresh_setup()
+        trainer_a = TtpTrainer(ttp_a, epochs=3, seed=9)
+        trainer_a.train(datasets_a)
+        for k, dataset in enumerate(datasets_a):
+            trainer_a.evaluate(dataset, step=k)
+        trainer_a.train(datasets_a)
+
+        # Run B: identical, minus the evaluations.
+        ttp_b, datasets_b = fresh_setup()
+        trainer_b = TtpTrainer(ttp_b, epochs=3, seed=9)
+        trainer_b.train(datasets_b)
+        trainer_b.train(datasets_b)
+
+        assert canonical(ttp_a) == canonical(ttp_b)
+
+    def test_evaluate_is_pure(self):
+        ttp, datasets = fresh_setup()
+        trainer = TtpTrainer(ttp, epochs=2, seed=0)
+        trainer.train(datasets)
+        before = canonical(ttp)
+        first = trainer.evaluate(datasets[0], step=0)
+        second = trainer.evaluate(datasets[0], step=0)
+        assert canonical(ttp) == before
+        assert first == second
+
+    def test_low_level_trainer_rng_untouched_by_evaluate(self):
+        # The root cause the contract guards against: Trainer.evaluate
+        # sharing Trainer.rng (the epoch-shuffle generator).
+        ttp, datasets = fresh_setup(horizon=1)
+        trainer = Trainer(
+            ttp.models[0], SoftmaxCrossEntropy(), epochs=1, seed=4
+        )
+        state_before = trainer.rng.bit_generator.state
+        trainer.evaluate(datasets[0])
+        assert trainer.rng.bit_generator.state == state_before
+
+
+class TestHoldoutSplitDomainSeparation:
+    def test_split_between_trainings_changes_nothing(self):
+        ttp_a, datasets_a = fresh_setup()
+        trainer_a = TtpTrainer(ttp_a, epochs=2, seed=5)
+        trainer_a.train(datasets_a)
+        trainer_a.holdout_split(datasets_a)
+        trainer_a.train(datasets_a)
+
+        ttp_b, datasets_b = fresh_setup()
+        trainer_b = TtpTrainer(ttp_b, epochs=2, seed=5)
+        trainer_b.train(datasets_b)
+        trainer_b.train(datasets_b)
+
+        assert canonical(ttp_a) == canonical(ttp_b)
+
+    def test_split_is_deterministic(self):
+        ttp, datasets = fresh_setup()
+        trainer = TtpTrainer(ttp, epochs=1, seed=5)
+        first_train, first_held = trainer.holdout_split(datasets)
+        again_train, again_held = trainer.holdout_split(datasets)
+        for a, b in zip(first_train, again_train):
+            np.testing.assert_array_equal(a.features, b.features)
+        for a, b in zip(first_held, again_held):
+            np.testing.assert_array_equal(a.features, b.features)
+
+    def test_split_rng_is_disjoint_from_training_stream(self):
+        # Training step k draws from default_rng(seed + k); the split for
+        # step k draws from default_rng((seed, _EVAL_STREAM, k)).  The two
+        # sequences must differ — identical sequences would mean the split
+        # re-used (and therefore raced with) a training stream.
+        seed = 5
+        train_draws = np.random.default_rng(seed).permutation(32)
+        split_draws = np.random.default_rng(
+            (seed, _EVAL_STREAM, 0)
+        ).permutation(32)
+        assert not np.array_equal(train_draws, split_draws)
+
+    def test_split_partitions_every_step(self):
+        ttp, datasets = fresh_setup()
+        trainer = TtpTrainer(ttp, epochs=1, seed=5)
+        train_parts, held_parts = trainer.holdout_split(
+            datasets, validation_fraction=0.25
+        )
+        assert len(train_parts) == len(datasets)
+        assert len(held_parts) == len(datasets)
+        for full, train, held in zip(datasets, train_parts, held_parts):
+            assert len(train) + len(held) == len(full)
+            assert len(held) == int(round(len(full) * 0.25))
+
+
+class TestRetrainerWithEvaluation:
+    def test_daily_retraining_unaffected_by_per_day_evaluation(self):
+        # The continual service evaluates every committed generation; a
+        # batch replay does not.  Both must produce identical weights.
+        def run(with_eval):
+            ttp = TransmissionTimePredictor(TtpConfig(horizon=2), seed=1)
+            retrainer = DailyRetrainer(
+                ttp, window_days=3, epochs_per_day=2, seed=7
+            )
+            states = []
+            for day in range(3):
+                streams = [
+                    make_stream(20, stream_id=10 * day + i, tx=0.7 + 0.1 * day)
+                    for i in range(3)
+                ]
+                retrainer.add_day(streams)
+                retrainer.retrain()
+                if with_eval:
+                    evaluator = TtpTrainer(ttp)
+                    datasets = retrainer.window_datasets()
+                    for k, dataset in enumerate(datasets):
+                        evaluator.evaluate(dataset, step=k)
+                states.append(canonical(ttp))
+            return states
+
+        assert run(with_eval=True) == run(with_eval=False)

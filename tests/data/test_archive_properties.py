@@ -1,0 +1,238 @@
+"""Property tests for archive reconstruction (the learning-loop's input).
+
+The continual retrainer trains on streams *reconstructed from the archive*,
+so the reconstruction must be a pure function of the archive's row **set**:
+a streamed (or sharded, or crash-replayed) archive may interleave tables,
+re-append rows, or lose an uncommitted tail, and none of that may change
+what the TTP learns.  Three property families:
+
+* **row-set invariance** — arbitrary interleavings and duplications of the
+  telemetry rows reconstruct exactly the same streams as the in-order log;
+* **byte-slice fidelity** — the appender's byte-offset slices reproduce the
+  exact in-memory rows (CSV float round-trips are exact), and consecutive
+  slices compose to the whole;
+* **truncation** — rolling the archive back to a commit boundary
+  reconstructs exactly the in-order prefix's streams.
+"""
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.archive import (
+    ArchiveAppender,
+    read_telemetry_slice,
+    reconstruct_streams,
+    reconstruct_training_streams,
+)
+from repro.streaming.telemetry import (
+    BufferEvent,
+    ClientBufferRecord,
+    TelemetryLog,
+    VideoAckedRecord,
+    VideoSentRecord,
+)
+
+# Floats with awkward reprs included; no NaN (CSV round-trip of NaN is not
+# part of the contract — the simulator never emits it).
+times = st.floats(
+    min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+sizes = st.floats(
+    min_value=1.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+ssims = st.floats(
+    min_value=1e-6, max_value=1.0 - 1e-9,
+    allow_nan=False, allow_infinity=False,
+)
+tcp_floats = st.floats(
+    min_value=0.0, max_value=1e8, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def telemetry_logs(draw):
+    """Small synthetic logs with every join hazard represented: missing
+    acks, duplicate acks (same and different times), time-travelling acks,
+    and orphan acks with no matching sent row."""
+    log = TelemetryLog()
+    n_streams = draw(st.integers(min_value=1, max_value=3))
+    for stream_id in range(n_streams):
+        expt_id = draw(st.integers(min_value=0, max_value=3))
+        n_chunks = draw(st.integers(min_value=0, max_value=5))
+        for chunk_index in range(n_chunks):
+            send_time = draw(times)
+            log.video_sent.append(
+                VideoSentRecord(
+                    time=send_time,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    chunk_index=chunk_index,
+                    size=draw(sizes),
+                    ssim_index=draw(ssims),
+                    cwnd=draw(tcp_floats),
+                    in_flight=draw(tcp_floats),
+                    min_rtt=draw(tcp_floats),
+                    rtt=draw(tcp_floats),
+                    delivery_rate=draw(tcp_floats),
+                )
+            )
+            # 0 acks (lost), 1, or several (duplicates); offsets may be
+            # negative (clock-skewed rows the join must drop).
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                offset = draw(
+                    st.floats(
+                        min_value=-2.0, max_value=30.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                )
+                log.video_acked.append(
+                    VideoAckedRecord(
+                        time=send_time + offset,
+                        stream_id=stream_id,
+                        expt_id=expt_id,
+                        chunk_index=chunk_index,
+                    )
+                )
+            log.client_buffer.append(
+                ClientBufferRecord(
+                    time=send_time,
+                    stream_id=stream_id,
+                    expt_id=expt_id,
+                    event=BufferEvent.TIMER,
+                    buffer=draw(tcp_floats),
+                    cum_rebuf=draw(times),
+                )
+            )
+    # Orphan acks: stream/chunk pairs with no sent row at all.
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        log.video_acked.append(
+            VideoAckedRecord(
+                time=draw(times),
+                stream_id=draw(st.integers(min_value=0, max_value=5)),
+                expt_id=0,
+                chunk_index=draw(st.integers(min_value=6, max_value=9)),
+            )
+        )
+    return log
+
+
+def scrambled(log, seed, duplicate):
+    """Same row set: independently shuffled tables, optionally with a
+    random subset of rows re-appended verbatim (retry/replay hazard)."""
+    rng = np.random.default_rng(seed)
+    out = TelemetryLog()
+    for src, dst in (
+        (log.video_sent, out.video_sent),
+        (log.video_acked, out.video_acked),
+        (log.client_buffer, out.client_buffer),
+    ):
+        rows = list(src)
+        if duplicate and rows:
+            extras = [
+                rows[int(i)]
+                for i in rng.integers(len(rows), size=rng.integers(1, 4))
+            ]
+            rows.extend(extras)
+        order = rng.permutation(len(rows))
+        dst.extend(rows[int(i)] for i in order)
+    return out
+
+
+def training_key(streams):
+    """Comparable exact form of reconstruct_training_streams output."""
+    return [
+        (s.stream_id, s.scheme_name, tuple(s.records)) for s in streams
+    ]
+
+
+class TestRowSetInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(log=telemetry_logs(), seed=st.integers(0, 2**32 - 1),
+           duplicate=st.booleans())
+    def test_analyst_join_is_row_set_pure(self, log, seed, duplicate):
+        reference = reconstruct_streams(log)
+        mutated = reconstruct_streams(scrambled(log, seed, duplicate))
+        assert mutated == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(log=telemetry_logs(), seed=st.integers(0, 2**32 - 1),
+           duplicate=st.booleans())
+    def test_training_streams_are_row_set_pure(self, log, seed, duplicate):
+        reference = training_key(reconstruct_training_streams(log))
+        mutated = training_key(
+            reconstruct_training_streams(scrambled(log, seed, duplicate))
+        )
+        assert mutated == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(log=telemetry_logs())
+    def test_training_streams_well_formed(self, log):
+        for stream in reconstruct_training_streams(log):
+            indices = [r.chunk_index for r in stream.records]
+            assert indices == sorted(indices)
+            assert len(set(indices)) == len(indices)
+            assert all(r.transmission_time >= 0 for r in stream.records)
+            assert stream.records, "empty streams are never emitted"
+
+
+class TestByteSlices:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        logs=st.lists(telemetry_logs(), min_size=1, max_size=4),
+        cut_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_slices_compose_to_the_whole(self, logs, cut_seed):
+        with tempfile.TemporaryDirectory() as directory:
+            appender = ArchiveAppender(directory)
+            snapshots = [appender.offsets()]
+            for log in logs:
+                appender.append(log)
+                snapshots.append(appender.offsets())
+
+            # Each inter-snapshot slice returns exactly its log's rows
+            # (CSV float round-trips are exact, so equality is exact).
+            for log, start, end in zip(logs, snapshots, snapshots[1:]):
+                piece = read_telemetry_slice(directory, start, end)
+                assert piece.video_sent == log.video_sent
+                assert piece.video_acked == log.video_acked
+                assert piece.client_buffer == log.client_buffer
+
+            # Any snapshot-to-end slice equals the concatenated suffix.
+            rng = np.random.default_rng(cut_seed)
+            cut = int(rng.integers(len(snapshots)))
+            suffix = read_telemetry_slice(directory, snapshots[cut], None)
+            expected = TelemetryLog()
+            for log in logs[cut:]:
+                expected.extend(log)
+            assert suffix.video_sent == expected.video_sent
+            assert suffix.video_acked == expected.video_acked
+            assert suffix.client_buffer == expected.client_buffer
+            appender.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        logs=st.lists(telemetry_logs(), min_size=1, max_size=3),
+        keep=st.integers(0, 3),
+    )
+    def test_truncation_reconstructs_the_prefix(self, logs, keep):
+        keep = min(keep, len(logs))
+        with tempfile.TemporaryDirectory() as directory:
+            appender = ArchiveAppender(directory)
+            first = appender.offsets()
+            snapshots = []
+            for log in logs:
+                appender.append(log)
+                snapshots.append(appender.offsets())
+            rollback = snapshots[keep - 1] if keep else first
+            appender.truncate_to(rollback)
+
+            prefix = TelemetryLog()
+            for log in logs[:keep]:
+                prefix.extend(log)
+            restored = appender.reconstruct_streams(first)
+            assert training_key(restored) == training_key(
+                reconstruct_training_streams(prefix)
+            )
+            appender.close()

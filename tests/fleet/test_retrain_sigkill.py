@@ -1,0 +1,125 @@
+"""A real ``kill -9`` delivered to ``repro fleet retrain`` *mid-retrain
+era* — after at least one generation is committed but before the run
+finishes — then a CLI resume at a different worker count must reproduce
+the uninterrupted run's dump, registry, and archive byte for byte.
+
+The kill trigger is state-based: the victim's checkpoint is polled until
+``extra["retrain"]["generations"] >= 1``, so the signal lands after the
+first generation has enrolled (the window where learner state, registry,
+and fleet state must all be rolled back consistently) on fast and slow
+machines alike.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+@pytest.mark.parallel_smoke
+class TestRetrainSigkillResume:
+    CLI = [
+        "fleet", "retrain",
+        "--days", "1.15", "--rate", "3", "--seed", "5",
+        "--trial-seed", "11", "--chunk-size", "4",
+        "--window-days", "3", "--recency-decay", "0.9",
+        "--epochs-per-day", "2", "--ttp-horizon", "2",
+    ]
+
+    def _env(self):
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _run_cli(self, args, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd, env=self._env(), capture_output=True, text=True,
+        )
+
+    def test_sigkill_after_first_generation_then_resume(self, tmp_path):
+        # Reference: one uninterrupted CLI run.
+        ref_dir = tmp_path / "ref"
+        ref_dir.mkdir()
+        completed = self._run_cli(
+            self.CLI + [
+                "--archive-dir", str(ref_dir / "archive"),
+                "--registry", str(ref_dir / "registry"),
+                "--out", str(ref_dir / "dump.json"),
+            ],
+            cwd=str(tmp_path),
+        )
+        assert completed.returncode == 0, completed.stderr
+        ref_manifest = json.loads(
+            (ref_dir / "registry" / "manifest.json").read_text()
+        )
+        assert len(ref_manifest["generations"]) >= 2
+
+        # Victim: same run with a checkpoint, killed without warning once
+        # the first generation is durably committed.
+        victim_dir = tmp_path / "victim"
+        victim_dir.mkdir()
+        ckpt = str(victim_dir / "ckpt.json")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", *self.CLI,
+             "--checkpoint", ckpt,
+             "--archive-dir", str(victim_dir / "archive"),
+             "--registry", str(victim_dir / "registry")],
+            cwd=str(tmp_path), env=self._env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.time() + 60.0
+        generations = 0
+        while time.time() < deadline:
+            if process.poll() is not None:
+                break
+            try:
+                with open(ckpt) as f:
+                    snapshot = json.load(f)
+            except (FileNotFoundError, ValueError):
+                snapshot = None
+            if snapshot is not None:
+                generations = snapshot["extra"]["retrain"]["generations"]
+                if generations >= 1 and not snapshot["completed"]:
+                    break
+            time.sleep(0.02)
+        process.kill()
+        process.wait(timeout=30)
+        assert os.path.exists(ckpt), "killed before any checkpoint"
+        assert generations >= 1, (
+            "run finished before the kill could land mid-era"
+        )
+
+        checkpoint = json.loads(open(ckpt).read())
+        assert not checkpoint["completed"]
+
+        # Resume via the CLI (mode round-trips through the checkpoint's
+        # stored cli_args) at a different worker count.
+        resumed = self._run_cli(
+            ["fleet", "resume", "--checkpoint", ckpt, "--workers", "2",
+             "--out", str(victim_dir / "dump.json")],
+            cwd=str(tmp_path),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        assert (victim_dir / "dump.json").read_bytes() == (
+            ref_dir / "dump.json"
+        ).read_bytes()
+        victim_registry = sorted(
+            (victim_dir / "registry").glob("*.json")
+        )
+        ref_registry = sorted((ref_dir / "registry").glob("*.json"))
+        assert [p.name for p in victim_registry] == [
+            p.name for p in ref_registry
+        ]
+        for victim_file, ref_file in zip(victim_registry, ref_registry):
+            assert victim_file.read_bytes() == ref_file.read_bytes()
+        for name in ("video_sent.csv", "video_acked.csv",
+                     "client_buffer.csv"):
+            assert (victim_dir / "archive" / name).read_bytes() == (
+                ref_dir / "archive" / name
+            ).read_bytes()
