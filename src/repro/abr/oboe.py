@@ -97,9 +97,15 @@ def build_config_map(
         for sigma, cv_bucket in cv_levels:
             scores = {c: 0.0 for c in candidates}
             for trace_i in range(traces_per_state):
-                link_seed = seed * 7919 + mean_i * 101 + cv_bucket * 11 + trace_i
+                # Tuple seeds, domain-separated per RNG family: the media
+                # generator and the link previously shared one arithmetic
+                # seed and so drew identical streams.  Both are rebuilt
+                # inside the conservatism loop on purpose — every
+                # candidate replays the exact same synthetic state.
+                media_seed = (seed, 0x0B0E, mean_i, cv_bucket, trace_i)
+                link_seed = (seed, 0x117C, mean_i, cv_bucket, trace_i)
                 for conservatism in candidates:
-                    rng = np.random.default_rng(link_seed)
+                    rng = np.random.default_rng(media_seed)
                     source = VideoSource(DEFAULT_CHANNELS[0], rng=rng)
                     encoder = VbrEncoder(rng=rng)
                     link = HeavyTailLink(

@@ -235,6 +235,7 @@ class _BatchEngine:
         ``run_session`` re-derives everything from ``(seed, session_id)``).
         """
         cfg = self.config
+        # repro: allow-SEED003(bit-exact replay of the scalar scheme-assignment fold in harness.run_session)
         rng = np.random.default_rng((cfg.seed, sid))
         spec = self.specs[int(rng.integers(len(self.specs)))]
         algo = self.algorithms[spec.name]
@@ -242,6 +243,7 @@ class _BatchEngine:
             self._fallback(sid)
             return False
         path = PathSampler(
+            # repro: allow-SEED001(bit-exact replay of the scalar path seed in harness.run_session)
             population=cfg.population, seed=cfg.seed * 1_000_003 + sid
         ).next_path()
         if path.cc_name != "bbr" or not isinstance(path.link, _LazyEpochLink):

@@ -149,6 +149,7 @@ class TtpTrainer:
                 optimizer=Adam(self.predictor.models[k], lr=self.learning_rate),
                 batch_size=self.batch_size,
                 epochs=self.epochs,
+                # repro: allow-SEED001(per-model offset, injective over the k bin models; reseeding invalidates trained-model digests)
                 seed=self.seed + k,
             )
             val = validation[k] if validation is not None else None

@@ -36,6 +36,9 @@ from repro.traces.fcc import FccTraceConfig, generate_fcc_dataset
 EMULATION_DELAY_S = 0.040
 """One-way mahimahi shell delay: 40 ms end-to-end (§5.2)."""
 
+_LOSS_STREAM = 0x70CC
+"""Domain-separation constant for per-run loss RNG seeds."""
+
 CLIP_MINUTES = 10.0
 """Length of the recorded NBC clip the emulated clients replay."""
 
@@ -86,12 +89,15 @@ class EmulationEnvironment:
         algorithm: AbrAlgorithm,
         runs_per_trace: int = 1,
         seed: int = 0,
+        salt: int = 0,
     ) -> List[StreamResult]:
         """Play the clip over every trace; returns one result per run.
 
         The emulator's defining property versus the real deployment: *the
         same conditions replay identically for every scheme* — no play of
-        chance in which network a scheme happens to draw (§5.3).
+        chance in which network a scheme happens to draw (§5.3).  ``salt``
+        distinguishes repeated invocations (e.g. per-iteration on-policy
+        collection) without callers deriving seeds arithmetically.
         """
         results: List[StreamResult] = []
         clip_duration = len(self._clip) * self._clip[0].duration
@@ -101,7 +107,9 @@ class EmulationEnvironment:
                 connection = TcpConnection(
                     link,
                     base_rtt=2 * EMULATION_DELAY_S,
-                    loss_rng=np.random.default_rng(seed + trace_i * 131 + run),
+                    loss_rng=np.random.default_rng(
+                        (seed, _LOSS_STREAM, salt, trace_i, run)
+                    ),
                 )
                 result = simulate_stream(
                     iter(self._clip),
@@ -130,12 +138,14 @@ def train_fugu_in_emulation(
         env = EmulationEnvironment(seed=seed)
     predictor = TransmissionTimePredictor(ttp_config, seed=seed)
     streams = env.run_scheme(BBA(), seed=seed) + env.run_scheme(
-        MpcHm(), seed=seed + 1
+        MpcHm(), seed=seed, salt=1
     )
     trainer = TtpTrainer(predictor, epochs=epochs, seed=seed)
     trainer.train(build_ttp_datasets(streams, predictor))
     for iteration in range(iterations):
-        on_policy = env.run_scheme(Fugu(predictor), seed=seed + 100 + iteration)
+        on_policy = env.run_scheme(
+            Fugu(predictor), seed=seed, salt=100 + iteration
+        )
         streams = streams + on_policy
         trainer.train(build_ttp_datasets(streams, predictor))
     return predictor

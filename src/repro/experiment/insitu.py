@@ -42,6 +42,23 @@ from repro.traces import generate_fcc_dataset
 
 import numpy as np
 
+# Domain-separation constants for the per-stream RNG families.  Each
+# independent consumer of the trial seed folds a distinct constant into a
+# tuple seed so no two families can ever draw the same stream, whatever
+# the stream index ``i`` is (this replaced ``seed * 1_000_003 + i`` being
+# reused verbatim for media, path, *and* connection — three identical
+# streams).  The change is an intentional break in collected traces:
+# telemetry gathered before it is not bit-comparable with telemetry after.
+_MEDIA_STREAM = 0x3ED1A
+_PATH_STREAM = 0x9A7B5
+_CONN_STREAM = 0xC0881
+
+# Candidate-training stream families for train_pensieve_in_simulation.
+_ENV_STREAM = 0xE27
+_POLICY_STREAM = 0x901C
+_TRAIN_STREAM = 0x7217
+_HOLDOUT_STREAM = 0x801D
+
 
 def _collect_one_stream(payload, i: int) -> StreamResult:
     """One round-robin collection stream — pure in ``(payload, i)``.
@@ -52,13 +69,14 @@ def _collect_one_stream(payload, i: int) -> StreamResult:
     """
     algorithms, population, watch_time_s, seed = payload
     algorithm = algorithms[i % len(algorithms)]
-    stream_seed = seed * 1_000_003 + i
-    rng = np.random.default_rng(stream_seed)
+    rng = np.random.default_rng((seed, _MEDIA_STREAM, i))
     channel = DEFAULT_CHANNELS[i % len(DEFAULT_CHANNELS)]
     source = VideoSource(channel, rng=rng)
     encoder = VbrEncoder(rng=rng)
-    path = PathSampler(population=population, seed=stream_seed).next_path()
-    connection = path.connect(seed=stream_seed)
+    path = PathSampler(
+        population=population, seed=(seed, _PATH_STREAM, i)
+    ).next_path()
+    connection = path.connect(seed=(seed, _CONN_STREAM, i))
     return simulate_stream(
         encoder.stream(source),
         algorithm,
@@ -160,7 +178,7 @@ def train_fugu_in_situ(
 
 
 def _greedy_simulation_score(
-    model: ActorCritic, traces, chunks_per_episode: int, seed: int
+    model: ActorCritic, traces, chunks_per_episode: int, seed
 ) -> float:
     """Mean greedy-episode QoE of a policy on held-out simulator traces."""
     env = SimpleChunkEnv(traces, chunks_per_episode=chunks_per_episode, seed=seed)
@@ -209,18 +227,28 @@ def train_pensieve_in_simulation(
     best_model: Optional[ActorCritic] = None
     best_score = -np.inf
     for candidate in range(n_candidates):
-        cand_seed = seed + 1000 * candidate
+        # One tuple seed per RNG family, domain-separated by a stream
+        # constant: the env, the policy init, the trainer, and the holdout
+        # scorer previously all consumed the *same* ``seed + 1000 *
+        # candidate`` value and therefore drew identical streams.
         env = SimpleChunkEnv(
-            traces, chunks_per_episode=chunks_per_episode, seed=cand_seed
+            traces,
+            chunks_per_episode=chunks_per_episode,
+            seed=(seed, _ENV_STREAM, candidate),
         )
-        model = ActorCritic(seed=cand_seed)
+        model = ActorCritic(seed=(seed, _POLICY_STREAM, candidate))
         PensieveTrainer(
             model,
             env,
-            PensieveTrainingConfig(episodes=episodes, seed=cand_seed),
+            PensieveTrainingConfig(
+                episodes=episodes, seed=(seed, _TRAIN_STREAM, candidate)
+            ),
         ).train()
         score = _greedy_simulation_score(
-            model, holdout, chunks_per_episode, seed=cand_seed
+            model,
+            holdout,
+            chunks_per_episode,
+            seed=(seed, _HOLDOUT_STREAM, candidate),
         )
         if score > best_score:
             best_score = score

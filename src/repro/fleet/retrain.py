@@ -710,7 +710,9 @@ def run_fleet_retrain(
         save_checkpoint(completed=False)
 
     def commit(chunk_result: _FleetChunk) -> None:
+        # repro: allow-CKPT002(the commit counter is wall-clock throughput accounting; a resumed run correctly restarts it at zero)
         nonlocal next_session_id, commits
+        # repro: allow-CKPT002(per-run throughput counters; a resumed run correctly restarts them at zero)
         nonlocal sessions_this_run, streams_this_run
         sink.merge(chunk_result.delta)
         if chunk_result.telemetry is not None:

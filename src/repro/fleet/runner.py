@@ -600,6 +600,7 @@ def run_fleet(
     start_wall = time.perf_counter()
 
     def commit(chunk_result: _FleetChunk) -> None:
+        # repro: allow-CKPT002(commit/stream/session counters are wall-clock throughput accounting; a resumed run correctly restarts them at zero)
         nonlocal next_session_id, commits, streams_this_run, sessions_this_run
         sink.merge(chunk_result.delta)
         if appender is not None and chunk_result.telemetry is not None:

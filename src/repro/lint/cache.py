@@ -54,27 +54,36 @@ def cache_dir() -> Path:
     return Path(os.environ.get("REPRO_LINT_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 
-def ruleset_fingerprint() -> str:
+def ruleset_fingerprint(package_dir: Optional[Path] = None) -> str:
     """Digest of the lint package's own sources (computed once per process).
 
     Any edit to a rule, the engine, the suppression parser, or the finding
     format changes the fingerprint and invalidates every cache entry — the
-    cache can never serve findings produced by a different linter.
+    cache can never serve findings produced by a different linter.  Passing
+    an explicit *package_dir* bypasses the process-wide memo (used by tests
+    that prove editing a rule file rolls the key).
     """
     global _RULESET_FINGERPRINT
-    if _RULESET_FINGERPRINT is None:
-        digest = hashlib.sha256()
-        digest.update(f"cache-v{CACHE_VERSION}\n".encode("utf-8"))
-        package_dir = Path(_lint_package.__file__).resolve().parent
-        try:
-            sources = sorted(package_dir.glob("*.py"))
-            for source in sources:
-                digest.update(source.name.encode("utf-8"))
-                digest.update(source.read_bytes())
-        except OSError:  # pragma: no cover - unreadable install
-            digest.update(b"unreadable")
-        _RULESET_FINGERPRINT = digest.hexdigest()
-    return _RULESET_FINGERPRINT
+    if package_dir is None and _RULESET_FINGERPRINT is not None:
+        return _RULESET_FINGERPRINT
+    digest = hashlib.sha256()
+    digest.update(f"cache-v{CACHE_VERSION}\n".encode("utf-8"))
+    root = (
+        package_dir
+        if package_dir is not None
+        else Path(_lint_package.__file__).resolve().parent
+    )
+    try:
+        sources = sorted(root.glob("*.py"))
+        for source in sources:
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+    except OSError:  # pragma: no cover - unreadable install
+        digest.update(b"unreadable")
+    result = digest.hexdigest()
+    if package_dir is None:
+        _RULESET_FINGERPRINT = result
+    return result
 
 
 class FindingsCache:

@@ -17,6 +17,11 @@ from repro.lint.purity import (
     PurityConfig,
     default_config_path,
 )
+from repro.lint.rules_ckpt import (
+    DEFAULT_EXCLUSIONS_NAME,
+    FingerprintExclusions,
+    default_exclusions_path,
+)
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +86,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--fingerprint-exclusions",
+        default=None,
+        metavar="FILE",
+        help=(
+            "fingerprint-coverage config enabling CKPT001 under "
+            f"--whole-program (default: {DEFAULT_EXCLUSIONS_NAME} in the "
+            "current directory, when present)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the per-file findings cache for this run",
@@ -107,6 +122,7 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
     purity_config: Optional[PurityConfig] = None
+    exclusions: Optional[FingerprintExclusions] = None
     if args.whole_program:
         config_path = (
             Path(args.purity_roots)
@@ -118,6 +134,22 @@ def run_lint(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.fingerprint_exclusions is not None:
+            try:
+                exclusions = FingerprintExclusions.load(
+                    args.fingerprint_exclusions
+                )
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif default_exclusions_path().is_file():
+            try:
+                exclusions = FingerprintExclusions.load(
+                    default_exclusions_path()
+                )
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     try:
         if args.write_baseline:
             target = args.baseline or DEFAULT_BASELINE_NAME
@@ -136,6 +168,7 @@ def run_lint(args: argparse.Namespace) -> int:
             whole_program=args.whole_program,
             purity_config=purity_config,
             use_cache=False if args.no_cache else None,
+            fingerprint_exclusions=exclusions,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -32,6 +32,7 @@ from repro.lint.cache import FindingsCache, cache_enabled
 from repro.lint.callgraph import ParsedModule
 from repro.lint.findings import Finding
 from repro.lint.purity import PurityConfig, analyze_program
+from repro.lint.rules_ckpt import FingerprintExclusions
 from repro.lint.suppressions import apply_suppressions, parse_suppressions
 
 
@@ -168,14 +169,15 @@ def lint_whole_program(
     files: Iterable[ParsedModule],
     config: PurityConfig,
     sources: Optional[Dict[str, str]] = None,
+    exclusions: Optional[FingerprintExclusions] = None,
 ) -> List[Finding]:
-    """Run only the purity phase over pre-parsed modules.
+    """Run only the whole-program phase over pre-parsed modules.
 
-    Used directly by the purity fixture tests; production runs go through
-    :func:`lint_paths` with ``whole_program=True``.
+    Used directly by the purity/seed fixture tests; production runs go
+    through :func:`lint_paths` with ``whole_program=True``.
     """
     parsed_map = {parsed.path: parsed for parsed in files}
-    findings = analyze_program(parsed_map, config)
+    findings = analyze_program(parsed_map, config, exclusions=exclusions)
     if sources is None:
         sources = {
             path: "\n".join(parsed.lines)
@@ -191,14 +193,17 @@ def lint_paths(
     whole_program: bool = False,
     purity_config: Optional[PurityConfig] = None,
     use_cache: Optional[bool] = None,
+    fingerprint_exclusions: Optional[FingerprintExclusions] = None,
 ) -> LintReport:
     """Lint files/directories, returning a :class:`LintReport`.
 
     Parameters
     ----------
     whole_program:
-        Also run the interprocedural purity phase (PURE001–PURE003) over
-        the full file set, using *purity_config* (required then).
+        Also run the interprocedural phase — purity (PURE001–PURE003),
+        seed lineage (SEED001–SEED004), and checkpoint coverage
+        (CKPT001–CKPT002) — over the full file set, using *purity_config*
+        (required then).  *fingerprint_exclusions* enables CKPT001.
     use_cache:
         Force the per-file findings cache on/off; default follows
         :func:`repro.lint.cache.cache_enabled` (on, except in CI or under
@@ -248,7 +253,9 @@ def lint_paths(
 
     if whole_program:
         assert purity_config is not None
-        program_findings = analyze_program(parsed_files, purity_config)
+        program_findings = analyze_program(
+            parsed_files, purity_config, exclusions=fingerprint_exclusions
+        )
         all_findings.extend(
             _apply_program_suppressions(program_findings, sources)
         )
@@ -281,7 +288,13 @@ def iter_rule_docs() -> Iterable[str]:
     """Human-readable one-liners for ``repro lint --rules``."""
     for rule in make_rules():
         yield f"{rule.id}: {rule.summary}"
+    from repro.lint.rules_ckpt import make_ckpt_rules
     from repro.lint.rules_purity import make_purity_rules
+    from repro.lint.rules_seed import make_seed_rules
 
     for purity_rule in make_purity_rules():
         yield f"{purity_rule.id} (whole-program): {purity_rule.summary}"
+    for seed_rule in make_seed_rules():
+        yield f"{seed_rule.id} (whole-program): {seed_rule.summary}"
+    for ckpt_rule in make_ckpt_rules():
+        yield f"{ckpt_rule.id} (whole-program): {ckpt_rule.summary}"

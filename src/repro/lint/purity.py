@@ -33,10 +33,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Mapping, Tuple, Union
+from typing import TYPE_CHECKING, List, Mapping, Optional, Tuple, Union
 
 from repro.lint.callgraph import CallGraph, ParsedModule, build_graph
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
+    from repro.lint.dataflow import SeedFlow
+    from repro.lint.rules_ckpt import FingerprintExclusions
 
 PURITY_CONFIG_VERSION = 1
 DEFAULT_PURITY_CONFIG_NAME = "purity-roots.json"
@@ -88,6 +92,14 @@ class ProgramContext:
     config: PurityConfig
     pure: "frozenset[str]"
     """Qualnames of every function in the pure region."""
+
+    seed_flow: Optional["SeedFlow"] = None
+    """Seed-lineage events (:mod:`repro.lint.dataflow`), computed once per
+    run and interpreted by the SEED rules."""
+
+    exclusions: Optional["FingerprintExclusions"] = None
+    """Checked-in fingerprint-coverage declaration; ``None`` disables
+    CKPT001 (CKPT002 needs no configuration)."""
 
     def pure_functions(self) -> List[str]:
         return sorted(self.pure)
@@ -158,23 +170,42 @@ def expand_roots(
 
 
 def analyze_program(
-    files: Mapping[str, ParsedModule], config: PurityConfig
+    files: Mapping[str, ParsedModule],
+    config: PurityConfig,
+    exclusions: Optional["FingerprintExclusions"] = None,
 ) -> List[Finding]:
-    """Run every whole-program purity rule; returns raw findings.
+    """Run every whole-program rule family; returns raw findings.
 
+    Three rule families share the one call graph built here: the purity
+    rules (over the pure region), the seed-lineage rules (over every
+    function — seed discipline is a tree-wide contract), and the
+    checkpoint-coverage rules (CKPT001 only when *exclusions* is given).
     Suppression handling is the caller's job (the engine applies the same
     per-file ``# repro: allow-RULE(reason)`` machinery the per-file phase
     uses, so one waiver syntax covers both phases).
     """
-    # Imported lazily to avoid a cycle (rules_purity imports this module's
-    # ProgramContext).
+    # Imported lazily to avoid a cycle (the rule modules import this
+    # module's ProgramContext).
+    from repro.lint.dataflow import analyze_seed_flow
+    from repro.lint.rules_ckpt import make_ckpt_rules
     from repro.lint.rules_purity import make_purity_rules
+    from repro.lint.rules_seed import make_seed_rules
 
     graph = build_graph(files, exclude_prefixes=config.quarantine)
     roots, findings = expand_roots(graph, config)
     pure = graph.reachable(roots)
-    program = ProgramContext(graph=graph, config=config, pure=frozenset(pure))
+    program = ProgramContext(
+        graph=graph,
+        config=config,
+        pure=frozenset(pure),
+        seed_flow=analyze_seed_flow(graph),
+        exclusions=exclusions,
+    )
     for rule in make_purity_rules():
         findings.extend(rule.check_program(program))
+    for seed_rule in make_seed_rules():
+        findings.extend(seed_rule.check_program(program))
+    for ckpt_rule in make_ckpt_rules():
+        findings.extend(ckpt_rule.check_program(program))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,357 @@
+"""Whole-program checkpoint-coverage rules: CKPT000–CKPT002.
+
+A fleet checkpoint is only crash-safe if it is *complete*: every config
+knob that changes the science must fold into the SHA-256 config
+fingerprint (or be excluded **explicitly**, with a reason, in the
+checked-in ``fingerprint-exclusions.json``), and every piece of mutable
+driver state written during the run must be reconstructible from the
+checkpoint.  Both contracts were previously enforced only by review;
+these rules check them from the AST.
+
+=========  ===============================================================
+CKPT000    configuration error in ``fingerprint-exclusions.json`` — an
+           unknown class or fingerprint function, an excluded field the
+           class does not declare, or a stale exclusion for a field the
+           fingerprint actually covers.  Config errors fail the run: a
+           typo must never silently shrink the checked surface.  Entries
+           whose *module* is not part of the linted file set are skipped,
+           so partial lints stay quiet; a full-tree run is strict
+CKPT001    a declared config dataclass field neither referenced by any of
+           its fingerprint functions (attribute read or string key) nor
+           named in the exclusion allowlist — adding a knob without
+           deciding its checkpoint identity is exactly the bug class
+CKPT002    mutable driver state (a ``nonlocal`` cell written by a nested
+           closure) in a function that constructs a
+           :class:`repro.fleet.checkpoint.FleetCheckpoint`, where the
+           cell never flows into the checkpoint — resume would silently
+           reset it
+=========  ===============================================================
+
+Exclusion config schema (version 1)::
+
+    {
+      "version": 1,
+      "classes": {
+        "repro.fleet.runner.FleetConfig": {
+          "fingerprint": ["repro.fleet.runner.FleetConfig.fingerprint"],
+          "exclude": {"chunk_sessions": "any cadence reproduces the dump"}
+        }
+      }
+    }
+
+``fingerprint`` lists the function(s) whose body defines coverage: a
+field counts as covered when any listed function reads it as an
+attribute (``self.field`` / ``trial.field``) or names it in a string
+constant (a dict key in a ``to_dict``-style serializer).  CKPT002 needs
+no configuration — it keys off ``FleetCheckpoint`` construction sites.
+Waivers use the ordinary inline suppression comments
+(``allow-CKPT002(reason)`` and friends).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Set, Tuple, Union
+
+from repro.lint.base import resolve_call_target
+from repro.lint.callgraph import CallGraph, FunctionInfo, FunctionNode
+from repro.lint.findings import Finding
+from repro.lint.purity import ProgramContext
+from repro.lint.rules_purity import PurityRule, _iter_scopes, _scope_nodes
+from repro.lint.rules_seed import SeedRule
+
+EXCLUSIONS_VERSION = 1
+DEFAULT_EXCLUSIONS_NAME = "fingerprint-exclusions.json"
+
+#: Rule id for exclusion-config problems (parallel to ``PURE000``).
+CKPT_CONFIG_RULE_ID = "CKPT000"
+
+#: The checkpoint container CKPT002 keys off.
+_CHECKPOINT_CLASS = "repro.fleet.checkpoint.FleetCheckpoint"
+
+
+@dataclass(frozen=True)
+class ClassCoverage:
+    """Declared fingerprint coverage for one config dataclass."""
+
+    fingerprint: Tuple[str, ...]
+    """Qualnames of the functions whose bodies define coverage."""
+
+    exclude: Mapping[str, str]
+    """field name -> reason it deliberately stays out of the fingerprint."""
+
+
+@dataclass(frozen=True)
+class FingerprintExclusions:
+    """Checked-in declaration of config-fingerprint coverage."""
+
+    classes: Mapping[str, ClassCoverage] = field(default_factory=dict)
+    source_path: str = "<inline>"
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FingerprintExclusions":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != EXCLUSIONS_VERSION:
+            raise ValueError(
+                f"unsupported fingerprint-exclusions version "
+                f"{data.get('version')!r} in {path}"
+            )
+        classes: Dict[str, ClassCoverage] = {}
+        for qualname, spec in dict(data.get("classes", {})).items():
+            classes[str(qualname)] = ClassCoverage(
+                fingerprint=tuple(
+                    str(f) for f in spec.get("fingerprint", [])
+                ),
+                exclude={
+                    str(k): str(v)
+                    for k, v in dict(spec.get("exclude", {})).items()
+                },
+            )
+        return cls(classes=classes, source_path=Path(path).as_posix())
+
+
+def default_exclusions_path(start: Union[str, Path] = ".") -> Path:
+    """``fingerprint-exclusions.json`` in *start* (the repo root)."""
+    return Path(start) / DEFAULT_EXCLUSIONS_NAME
+
+
+def _in_lint_scope(graph: "CallGraph", qualname: str) -> bool:
+    """Is the module owning *qualname* part of the linted file set?
+
+    Exclusion entries for modules outside the file set are not errors —
+    a partial lint (one file, one package) must not demand the whole
+    tree.  Only a qualname whose module WAS linted but lacks the named
+    class/function is a genuine config error.
+    """
+    parts = qualname.split(".")
+    return any(
+        ".".join(parts[:i]) in graph.modules for i in range(1, len(parts))
+    )
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    """Declared dataclass fields, skipping ``ClassVar`` annotations."""
+    out: List[Tuple[str, ast.AnnAssign]] = []
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(
+            item.target, ast.Name
+        ):
+            continue
+        annotation = ast.dump(item.annotation)
+        if "ClassVar" in annotation:
+            continue
+        out.append((item.target.id, item))
+    return out
+
+
+def _coverage_names(fns: Iterator[FunctionInfo]) -> Set[str]:
+    """Names a fingerprint function *covers*: every attribute read plus
+    every string constant (dict keys in ``to_dict``-style serializers)."""
+    covered: Set[str] = set()
+    for fn in fns:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Attribute):
+                covered.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                covered.add(node.value)
+    return covered
+
+
+class CkptRule(SeedRule):
+    """Base for checkpoint rules: skipped without an exclusions config
+    (CKPT002 runs regardless — it needs no configuration)."""
+
+    def config_finding(
+        self, exclusions: FingerprintExclusions, message: str
+    ) -> Finding:
+        return Finding(
+            rule=CKPT_CONFIG_RULE_ID,
+            path=exclusions.source_path,
+            line=1,
+            col=0,
+            message=message,
+            source_line="",
+        )
+
+
+class FingerprintCoverageRule(CkptRule):
+    """CKPT001 — every config field fingerprinted or excluded with reason.
+
+    Also emits the CKPT000 config errors, so one pass over the exclusion
+    file validates it completely.
+    """
+
+    id = "CKPT001"
+    summary = (
+        "config dataclass field is neither folded into the checkpoint "
+        "fingerprint nor named in fingerprint-exclusions.json — decide "
+        "its identity before it ships"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        exclusions = program.exclusions
+        if exclusions is None:
+            return
+        graph = program.graph
+        for class_qual in sorted(exclusions.classes):
+            coverage = exclusions.classes[class_qual]
+            info = graph.classes.get(class_qual)
+            if info is None:
+                if _in_lint_scope(graph, class_qual):
+                    yield self.config_finding(
+                        exclusions,
+                        f"declared config class {class_qual!r} was not "
+                        "found in the linted tree — fix "
+                        "fingerprint-exclusions.json or restore the class",
+                    )
+                continue
+            fingerprint_fns: List[FunctionInfo] = []
+            skip_class = False
+            for fn_qual in coverage.fingerprint:
+                fn = graph.functions.get(fn_qual)
+                if fn is None:
+                    skip_class = True
+                    if _in_lint_scope(graph, fn_qual):
+                        yield self.config_finding(
+                            exclusions,
+                            f"fingerprint function {fn_qual!r} declared "
+                            f"for {class_qual!r} was not found in the "
+                            "linted tree",
+                        )
+                else:
+                    fingerprint_fns.append(fn)
+            if skip_class:
+                continue
+            covered = _coverage_names(iter(fingerprint_fns))
+            fields = _dataclass_fields(info.node)
+            field_names = {name for name, _ in fields}
+            for excluded in sorted(coverage.exclude):
+                if excluded not in field_names:
+                    yield self.config_finding(
+                        exclusions,
+                        f"excluded field {excluded!r} does not exist on "
+                        f"{class_qual!r} — remove the stale exclusion",
+                    )
+                elif excluded in covered:
+                    yield self.config_finding(
+                        exclusions,
+                        f"excluded field {excluded!r} of {class_qual!r} is "
+                        "actually covered by the fingerprint — remove the "
+                        "stale exclusion",
+                    )
+            for name, node in fields:
+                if name in covered or name in coverage.exclude:
+                    continue
+                yield self.site_finding(
+                    program,
+                    (info.path, int(node.lineno), int(node.col_offset)),
+                    f"field {name!r} of {class_qual} is neither folded "
+                    "into the checkpoint fingerprint nor excluded in "
+                    f"{exclusions.source_path} — an undeclared knob lets "
+                    "a resumed run silently mix configurations",
+                )
+
+
+class CheckpointStateRule(CkptRule):
+    """CKPT002 — nonlocal driver state missing from the checkpoint."""
+
+    id = "CKPT002"
+    summary = (
+        "mutable driver state (nonlocal cell) written during the run but "
+        "absent from the FleetCheckpoint — resume would silently reset it"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        graph = program.graph
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            if fn.class_name is not None:
+                continue
+            checkpoint_calls = self._checkpoint_calls(program, fn)
+            if not checkpoint_calls:
+                continue
+            covered = self._covered_names(program, fn, checkpoint_calls)
+            for scope in _iter_scopes(fn.node):
+                if scope is fn.node:
+                    continue
+                for node in _scope_nodes(scope):
+                    if not isinstance(node, ast.Nonlocal):
+                        continue
+                    for name in node.names:
+                        if name in covered:
+                            continue
+                        yield self.site_finding(
+                            program,
+                            (
+                                fn.path,
+                                int(node.lineno),
+                                int(node.col_offset),
+                            ),
+                            f"driver state {name!r} is written via "
+                            f"nonlocal in {fn.qualname} but never flows "
+                            "into the FleetCheckpoint constructed there — "
+                            "a resumed run would silently reset it; "
+                            "thread it into the checkpoint (extra={...}) "
+                            "or waive it with a reasoned allow comment",
+                        )
+
+    @staticmethod
+    def _checkpoint_calls(
+        program: ProgramContext, fn: FunctionInfo
+    ) -> List[ast.Call]:
+        parsed = program.graph.modules.get(fn.module)
+        if parsed is None:
+            return []
+        from repro.lint.base import collect_imports
+
+        imports = collect_imports(parsed.tree)
+        calls: List[ast.Call] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                if resolve_call_target(node, imports) == _CHECKPOINT_CLASS:
+                    calls.append(node)
+        return calls
+
+    def _covered_names(
+        self,
+        program: ProgramContext,
+        fn: FunctionInfo,
+        calls: List[ast.Call],
+    ) -> Set[str]:
+        helpers: Dict[str, FunctionNode] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn.node:
+                    helpers[node.name] = node
+        for qualname, other in program.graph.functions.items():
+            if other.module == fn.module and other.class_name is None:
+                helpers.setdefault(other.name, other.node)
+
+        covered: Set[str] = set()
+        arg_nodes: List[ast.expr] = []
+        for call in calls:
+            arg_nodes.extend(call.args)
+            arg_nodes.extend(kw.value for kw in call.keywords)
+        for arg in arg_nodes:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    covered.add(sub.id)
+                elif isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name
+                ):
+                    helper = helpers.get(sub.func.id)
+                    if helper is not None:
+                        for inner in ast.walk(helper):
+                            if isinstance(inner, ast.Name):
+                                covered.add(inner.id)
+        return covered
+
+
+def make_ckpt_rules() -> List[CkptRule]:
+    """Fresh instances of every checkpoint rule, in id order."""
+    return [FingerprintCoverageRule(), CheckpointStateRule()]

@@ -23,6 +23,20 @@ and the import machinery are untouched):
   ``numpy.random`` (the shared ``RandomState``) are wrapped the same way.
   Seeded ``random.Random`` / ``numpy`` ``Generator`` instances are
   untouched: per-session RNGs are the *contract*, not a violation.
+* **seed registry** — every *materialized* seed (int or flat int tuple)
+  passed to ``numpy.random.default_rng`` inside a guard is recorded with
+  its call site; constructing a second generator from the **same** seed at
+  a **different** site trips (two independent consumers drawing identical
+  streams — the dynamic form of SEED002).  Same-site re-construction is
+  exempt: rebuilding the same stream for replay is the reproducibility
+  contract, not a bug.  The registry clears on entry to each outermost
+  guard, so independent sessions never cross-talk.
+* **process-boundary generators** — ``repro.experiment.parallel.fork_map``
+  is wrapped: shipping a ``numpy`` ``Generator``/``RandomState`` across
+  the fork boundary (directly, or inside a tuple/list/dict payload) trips
+  inside a guard — the dynamic form of SEED004.  Only container structure
+  is scanned, never object attributes: algorithm instances legitimately
+  carry internal RNGs across the fork.
 * **environment writes** — a :func:`sys.addaudithook` hook trips on
   ``os.putenv`` / ``os.unsetenv`` (which ``os.environ`` mutation routes
   through) and on files opened for writing inside the guard.  Audit hooks
@@ -105,6 +119,11 @@ class _SanitizerState:
     originals: Dict[str, Tuple[Any, str, Callable[..., Any]]] = field(
         default_factory=dict
     )
+    seed_seen: Dict[Tuple[Any, ...], str] = field(default_factory=dict)
+    """Normalized materialized seed -> first call site (cleared per guard)."""
+
+    seed_log: List[Tuple[Tuple[Any, ...], str]] = field(default_factory=list)
+    """Materialization order, for inspection by tests/tools."""
 
 
 _STATE = _SanitizerState()
@@ -260,6 +279,12 @@ def install(snapshot_modules: Sequence[str] = ()) -> None:
                 _np_random, name, "global-RNG draw", f"numpy.random.{name}"
             )
         _wrap_unseeded_default_rng(_np_random)
+    try:
+        from repro.experiment import parallel as _parallel
+    except ImportError:  # pragma: no cover - core package
+        _parallel = None  # type: ignore[assignment]
+    if _parallel is not None:
+        _wrap_fork_map(_parallel)
     if not _AUDIT_HOOK_ADDED:
         sys.addaudithook(_audit_hook)
         _AUDIT_HOOK_ADDED = True
@@ -267,11 +292,74 @@ def install(snapshot_modules: Sequence[str] = ()) -> None:
     _STATE.installed = True
 
 
-def _wrap_unseeded_default_rng(np_random: Any) -> None:
-    """Trip *unseeded* ``numpy.random.default_rng()`` construction.
+def _normalize_seed(seed: Any) -> Optional[Tuple[Any, ...]]:
+    """Registry key for a materialized seed: ints and flat int tuples.
 
-    The dynamic counterpart of PURE003/DET001: a seeded construction is the
-    determinism contract, an entropy-seeded one silently breaks replay.
+    Anything else (``None``, ``SeedSequence``, arrays, nested tuples) is
+    not registered — the registry checks the repo's own seed idioms, not
+    every value numpy happens to accept.
+    """
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - numpy is a baked-in dep
+        _np = None  # type: ignore[assignment]
+
+    def as_int(value: Any) -> Optional[int]:
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            return int(value)
+        if _np is not None and isinstance(value, _np.integer):
+            return int(value)
+        return None
+
+    direct = as_int(seed)
+    if direct is not None:
+        return ("int", direct)
+    if isinstance(seed, (tuple, list)):
+        values: List[int] = []
+        for item in seed:
+            converted = as_int(item)
+            if converted is None:
+                return None
+            values.append(converted)
+        return ("tuple",) + tuple(values)
+    return None
+
+
+def _record_seed(seed: Any, frame: types.FrameType) -> None:
+    """Register a materialized seed; trip on a duplicate at a new site."""
+    key = _normalize_seed(seed)
+    if key is None:
+        return
+    site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+    prior = _STATE.seed_seen.get(key)
+    if prior is None:
+        _STATE.seed_seen[key] = site
+        _STATE.seed_log.append((key, site))
+    elif prior != site:
+        _trip(
+            "duplicate materialized seed",
+            f"numpy.random.default_rng({seed!r}) "
+            f"(first materialized at {prior})",
+            frame,
+        )
+
+
+def seed_records() -> List[Tuple[Tuple[Any, ...], str]]:
+    """Snapshot of the seed registry (normalized seed, first site)."""
+    return list(_STATE.seed_log)
+
+
+def _wrap_unseeded_default_rng(np_random: Any) -> None:
+    """Trip *unseeded* ``numpy.random.default_rng()`` construction, and
+    feed seeded constructions into the duplicate-seed registry.
+
+    The dynamic counterpart of PURE003/DET001 (unseeded) and SEED002
+    (duplicate): a seeded construction is the determinism contract, an
+    entropy-seeded one silently breaks replay, and the *same* seed
+    materialized at two distinct sites means two independent consumers
+    draw identical streams.
     """
     registry_key = "numpy.random.default_rng"
     original = getattr(np_random, "default_rng", None)
@@ -279,12 +367,15 @@ def _wrap_unseeded_default_rng(np_random: Any) -> None:
         return
 
     def tripwire(seed: Any = None, *args: Any, **kwargs: Any) -> Any:
-        if _STATE.installed and _STATE.depth > 0 and seed is None:
-            _trip(
-                "unseeded RNG construction",
-                "numpy.random.default_rng()",
-                sys._getframe(1),
-            )
+        if _STATE.installed and _STATE.depth > 0:
+            if seed is None:
+                _trip(
+                    "unseeded RNG construction",
+                    "numpy.random.default_rng()",
+                    sys._getframe(1),
+                )
+            else:
+                _record_seed(seed, sys._getframe(1))
         return original(seed, *args, **kwargs)
 
     tripwire.__name__ = "default_rng"
@@ -294,6 +385,58 @@ def _wrap_unseeded_default_rng(np_random: Any) -> None:
     np_random.default_rng = tripwire
 
 
+def _contains_generator(value: Any, depth: int = 3) -> bool:
+    """Is a ``Generator``/``RandomState`` visible in container structure?
+
+    Deliberately shallow: tuples/lists/sets/dict-values only, never object
+    attributes — fork payloads legitimately carry algorithm instances with
+    internal RNGs, and those cross the boundary *inside* their owner.
+    """
+    try:
+        import numpy.random as _np_random
+    except ImportError:  # pragma: no cover - numpy is a baked-in dep
+        return False
+    if isinstance(value, (_np_random.Generator, _np_random.RandomState)):
+        return True
+    if depth <= 0:
+        return False
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(_contains_generator(item, depth - 1) for item in value)
+    if isinstance(value, dict):
+        return any(
+            _contains_generator(item, depth - 1) for item in value.values()
+        )
+    return False
+
+
+def _wrap_fork_map(parallel: Any) -> None:
+    """Trip when a numpy Generator crosses the fork boundary (SEED004's
+    dynamic half).  The check precedes the call, so it fires even on the
+    serial (``workers<=1``) fallback path."""
+    registry_key = "repro.experiment.parallel.fork_map"
+    original = getattr(parallel, "fork_map", None)
+    if original is None or registry_key in _STATE.originals:
+        return
+
+    def tripwire(*args: Any, **kwargs: Any) -> Any:
+        if _STATE.installed and _STATE.depth > 0:
+            for value in list(args) + list(kwargs.values()):
+                if _contains_generator(value):
+                    _trip(
+                        "generator crossed a process boundary",
+                        "repro.experiment.parallel.fork_map(...)",
+                        sys._getframe(1),
+                    )
+                    break
+        return original(*args, **kwargs)
+
+    tripwire.__name__ = "fork_map"
+    tripwire.__qualname__ = "fork_map"
+    tripwire.__doc__ = getattr(original, "__doc__", None)
+    _STATE.originals[registry_key] = (parallel, "fork_map", original)
+    parallel.fork_map = tripwire
+
+
 def uninstall() -> None:
     """Restore every patched function; the audit hook goes inert."""
     for module, attr, original in _STATE.originals.values():
@@ -301,6 +444,8 @@ def uninstall() -> None:
     _STATE.originals.clear()
     _STATE.installed = False
     _STATE.depth = 0
+    _STATE.seed_seen.clear()
+    _STATE.seed_log.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -490,6 +635,11 @@ def guard(label: str = "session") -> Iterator[None]:
     if not _STATE.installed:
         yield
         return
+    if _STATE.depth == 0:
+        # Outermost guard: independent sessions must not see each other's
+        # materialized seeds (replaying a session *is* the contract).
+        _STATE.seed_seen.clear()
+        _STATE.seed_log.clear()
     before = snapshot_digests(_STATE.snapshot_modules)
     _STATE.depth += 1
     try:

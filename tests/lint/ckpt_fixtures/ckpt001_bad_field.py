@@ -1,0 +1,19 @@
+# repro: module=fixturepkg.ckpt001_bad_field
+"""BAD: a config field neither fingerprinted nor excluded.
+
+With an exclusions entry declaring ``fingerprint`` as the coverage
+function, CKPT001 fires on ``verbose`` — it is read by nothing and
+excluded by nothing.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JobConfig:
+    seed: int = 0
+    depth: int = 2
+    verbose: bool = False
+
+    def fingerprint(self):
+        return f"{self.seed}:{self.depth}"

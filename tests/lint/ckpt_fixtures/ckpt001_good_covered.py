@@ -1,0 +1,23 @@
+# repro: module=fixturepkg.ckpt001_good_covered
+"""GOOD: every field is either fingerprinted or explicitly excluded.
+
+``seed`` and ``depth`` are attribute reads in ``fingerprint``; ``verbose``
+is a string key in the serializer; ``workers`` is named in the exclusions
+entry the test supplies.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JobConfig:
+    seed: int = 0
+    depth: int = 2
+    verbose: bool = False
+    workers: int = 1
+
+    def fingerprint(self):
+        return f"{self.seed}:{self.depth}:{self.to_dict()['verbose']}"
+
+    def to_dict(self):
+        return {"verbose": self.verbose}

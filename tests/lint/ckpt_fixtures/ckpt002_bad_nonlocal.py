@@ -1,0 +1,28 @@
+# repro: module=fixturepkg.ckpt002_bad_nonlocal
+"""BAD: a nonlocal cell mutated during the run never reaches the checkpoint.
+
+``commits`` is written by the nested ``commit`` closure but the
+``FleetCheckpoint`` construction only threads ``next_session_id`` —
+resume would silently reset the counter.  CKPT002 fires at the
+``nonlocal`` statement.
+"""
+
+from repro.fleet.checkpoint import FleetCheckpoint
+
+
+def drive(fingerprint, sink, total):
+    commits = 0
+    next_session_id = 0
+
+    def commit(delta):
+        nonlocal commits, next_session_id
+        commits += 1
+        next_session_id = delta + 1
+
+    for i in range(total):
+        commit(i)
+    return FleetCheckpoint(
+        fingerprint=fingerprint,
+        next_session_id=next_session_id,
+        sink=sink,
+    )

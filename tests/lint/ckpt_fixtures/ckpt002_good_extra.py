@@ -1,0 +1,27 @@
+# repro: module=fixturepkg.ckpt002_good_extra
+"""GOOD: every mutated nonlocal cell is threaded into the checkpoint.
+
+``commits`` and ``next_session_id`` both appear in the constructor's
+argument expressions (``extra={...}`` counts), so CKPT002 stays silent.
+"""
+
+from repro.fleet.checkpoint import FleetCheckpoint
+
+
+def drive(fingerprint, sink, total):
+    commits = 0
+    next_session_id = 0
+
+    def commit(delta):
+        nonlocal commits, next_session_id
+        commits += 1
+        next_session_id = delta + 1
+
+    for i in range(total):
+        commit(i)
+    return FleetCheckpoint(
+        fingerprint=fingerprint,
+        next_session_id=next_session_id,
+        sink=sink,
+        extra={"commits": commits},
+    )

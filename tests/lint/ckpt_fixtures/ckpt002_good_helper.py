@@ -1,0 +1,28 @@
+# repro: module=fixturepkg.ckpt002_good_helper
+"""GOOD: checkpoint state assembled by a helper the constructor calls.
+
+The ``extra=state()`` argument invokes the nested ``state`` helper, whose
+body references ``commits`` — helper-following marks it covered.
+"""
+
+from repro.fleet.checkpoint import FleetCheckpoint
+
+
+def drive(fingerprint, sink, total):
+    commits = 0
+
+    def commit(delta):
+        nonlocal commits
+        commits += 1
+
+    def state():
+        return {"commits": commits}
+
+    for i in range(total):
+        commit(i)
+    return FleetCheckpoint(
+        fingerprint=fingerprint,
+        next_session_id=total,
+        sink=sink,
+        extra=state(),
+    )

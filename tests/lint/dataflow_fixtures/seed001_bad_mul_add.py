@@ -1,0 +1,15 @@
+# repro: module=fixturepkg.seed001_bad_mul_add
+"""BAD: arithmetic seed derivation over free indices, no domain separation.
+
+Static: SEED001 at each ``seed * p + index`` derivation.
+Dynamic: ``root(7, 3, 3)`` materializes the same derived seed at two
+distinct ``default_rng`` sites — the duplicate-seed registry trips.
+"""
+
+import numpy as np
+
+
+def root(seed, i, j):
+    rng_a = np.random.default_rng(seed * 1_000_003 + i)
+    rng_b = np.random.default_rng(seed * 1_000_003 + j)
+    return float(rng_a.random()) + float(rng_b.random())

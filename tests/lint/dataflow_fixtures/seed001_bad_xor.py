@@ -1,0 +1,15 @@
+# repro: module=fixturepkg.seed001_bad_xor
+"""BAD: XOR-style seed derivation over free variables.
+
+Static: SEED001 (XOR is a BinOp derivation like any other arithmetic).
+Dynamic: XOR commutes, so ``root(0, 4, 4)`` collides the two streams and
+the duplicate-seed registry trips.
+"""
+
+import numpy as np
+
+
+def root(seed, stream, index):
+    rng_a = np.random.default_rng(seed ^ index)
+    rng_b = np.random.default_rng(seed ^ stream)
+    return float(rng_a.random()) + float(rng_b.random())

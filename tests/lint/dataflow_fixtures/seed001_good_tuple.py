@@ -1,0 +1,15 @@
+# repro: module=fixturepkg.seed001_good_tuple
+"""GOOD: tuple seeds with distinct stream constants per consumer.
+
+Static: clean — the folds carry int-literal domain constants.
+Dynamic: clean even for equal indices — the constants keep the
+materialized tuples distinct.
+"""
+
+import numpy as np
+
+
+def root(seed, i, j):
+    rng_a = np.random.default_rng((seed, 0x51, i))
+    rng_b = np.random.default_rng((seed, 0x52, j))
+    return float(rng_a.random()) + float(rng_b.random())

@@ -1,0 +1,18 @@
+# repro: module=fixturepkg.seed002_allowed_shared
+"""WAIVED: an intentionally shared stream, pacified on both sides.
+
+Static: the SEED002 finding attributes to the derivation line, where the
+allow comment suppresses it.  Dynamic: the duplicate materialization site
+carries the same comment, which the runtime registry honours.
+"""
+
+import numpy as np
+
+
+def root(seed):
+    # repro: allow-SEED002(mirrored-arm stream: both arms must draw identical noise by design)
+    shared = seed + 41
+    rng_a = np.random.default_rng(shared)
+    # repro: allow-SEED002(mirrored-arm stream: both arms must draw identical noise by design)
+    rng_b = np.random.default_rng(shared)
+    return float(rng_a.random()) + float(rng_b.random())

@@ -1,0 +1,22 @@
+# repro: module=fixturepkg.seed002_bad_module_fn
+"""BAD: a const-only derivation shared between a local sink and a helper.
+
+Static: SEED002 only — the derivation has no free variables (so SEED001
+stays silent), but the value reaches two independent sinks (one through
+interprocedural inlining of ``_score``).
+Dynamic: the same value materializes at two distinct ``default_rng``
+sites — the duplicate-seed registry trips.
+"""
+
+import numpy as np
+
+
+def _score(seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def root(seed):
+    derived = seed + 41
+    rng = np.random.default_rng(derived)
+    return float(rng.random()) + _score(derived)

@@ -1,0 +1,25 @@
+# repro: module=fixturepkg.seed002_bad_shared
+"""BAD: one derived seed reaches a sink and an RNG-consuming class.
+
+Static: SEED002 (two independent consumers of one derivation) and SEED001
+(the derivation folds the free index ``i``).
+Dynamic: ``_Sampler.__init__`` materializes the same seed value at a
+second ``default_rng`` site — the duplicate-seed registry trips.
+"""
+
+import numpy as np
+
+
+class _Sampler:
+    def __init__(self, seed):
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self):
+        return float(self._rng.random())
+
+
+def root(seed, i):
+    derived_seed = seed + 1000 * i
+    rng = np.random.default_rng(derived_seed)
+    sampler = _Sampler(derived_seed)
+    return float(rng.random()) + sampler.draw()

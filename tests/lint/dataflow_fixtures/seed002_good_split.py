@@ -1,0 +1,18 @@
+# repro: module=fixturepkg.seed002_good_split
+"""GOOD: each consumer gets its own domain-separated tuple seed.
+
+Static: clean.  Dynamic: clean — the stream constants keep the two
+materialized tuples distinct.
+"""
+
+import numpy as np
+
+
+def _score(seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def root(seed):
+    rng = np.random.default_rng((seed, 0xA1))
+    return float(rng.random()) + _score((seed, 0xB2))

@@ -1,0 +1,15 @@
+# repro: module=fixturepkg.seed003_bad_pair
+"""BAD: tuple folds without a domain-separation constant.
+
+Static: SEED003 at each ``(seed, i)``-style fold.
+Dynamic: the two folds permute the same values, so ``root(6, 6)``
+materializes one tuple at two distinct sites — the registry trips.
+"""
+
+import numpy as np
+
+
+def root(seed, i):
+    rng_a = np.random.default_rng((seed, i))
+    rng_b = np.random.default_rng((i, seed))
+    return float(rng_a.random()) + float(rng_b.random())

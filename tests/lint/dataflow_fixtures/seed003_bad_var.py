@@ -1,0 +1,16 @@
+# repro: module=fixturepkg.seed003_bad_var
+"""BAD: a constant-free tuple fold held in an intermediate variable.
+
+Static: SEED003 at both fold sites (the variable carries the fold taint).
+Dynamic: ``root(2, 2)`` materializes the same tuple at two distinct
+sites — the registry trips.
+"""
+
+import numpy as np
+
+
+def root(seed, i):
+    key = (seed, i)
+    rng_a = np.random.default_rng(key)
+    rng_b = np.random.default_rng((i, seed))
+    return float(rng_a.random()) + float(rng_b.random())

@@ -1,0 +1,17 @@
+# repro: module=fixturepkg.seed003_good_const
+"""GOOD: tuple folds carrying module-level stream constants.
+
+Static: clean — ``_STREAM_A``/``_STREAM_B`` are module-level int bindings
+and count as domain-separation constants.  Dynamic: clean for any index.
+"""
+
+import numpy as np
+
+_STREAM_A = 0x5A
+_STREAM_B = 0x5B
+
+
+def root(seed, i):
+    rng_a = np.random.default_rng((seed, _STREAM_A, i))
+    rng_b = np.random.default_rng((seed, _STREAM_B, i))
+    return float(rng_a.random()) + float(rng_b.random())

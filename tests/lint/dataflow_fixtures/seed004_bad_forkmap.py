@@ -1,0 +1,23 @@
+# repro: module=fixturepkg.seed004_bad_forkmap
+"""BAD: a constructed Generator crosses ``fork_map``.
+
+Static: SEED004 — the payload tuple carries a generator lineage into the
+process boundary.  Dynamic: the ``fork_map`` tripwire scans the payload
+structure and trips, even on the serial ``workers=1`` fallback.
+(The module attribute is read at call time so the sanitizer's patch is
+seen; a ``from ... import fork_map`` would bind the original early.)
+"""
+
+import numpy as np
+
+from repro.experiment import parallel
+
+
+def _work(payload, item):
+    rng, base = payload
+    return float(rng.random()) + base + item
+
+
+def root(seed):
+    rng = np.random.default_rng((seed, 0x77))
+    return parallel.fork_map(_work, (rng, 0.5), range(2), workers=1)

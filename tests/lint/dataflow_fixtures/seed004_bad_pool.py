@@ -1,0 +1,24 @@
+# repro: module=fixturepkg.seed004_bad_pool
+"""BAD (static-only): a Generator passed through a pool-style method.
+
+Static: SEED004 — ``apply_async`` is a pool-style boundary on any
+receiver.  Dynamic: silent — the runtime tripwire only covers the real
+``fork_map`` entrypoint, the documented static over-approximation.
+"""
+
+import numpy as np
+
+
+class _FakePool:
+    def apply_async(self, fn, args):
+        return fn(*args)
+
+
+def _work(rng):
+    return float(rng.random())
+
+
+def root(seed):
+    rng = np.random.default_rng((seed, 0x88))
+    pool = _FakePool()
+    return pool.apply_async(_work, (rng,))

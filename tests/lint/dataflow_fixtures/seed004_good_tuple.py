@@ -1,0 +1,21 @@
+# repro: module=fixturepkg.seed004_good_tuple
+"""GOOD: the seed crosses ``fork_map`` as a value; workers rebuild RNGs.
+
+Static: clean — no generator lineage reaches the boundary, and the
+worker-side fold carries a stream constant.  Dynamic: clean — every
+worker materializes a distinct tuple seed.
+"""
+
+import numpy as np
+
+from repro.experiment import parallel
+
+
+def _work(payload, item):
+    seed, base = payload
+    rng = np.random.default_rng((seed, 0x99, item))
+    return float(rng.random()) + base
+
+
+def root(seed):
+    return parallel.fork_map(_work, (seed, 0.5), range(2), workers=1)

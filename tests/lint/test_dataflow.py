@@ -1,0 +1,301 @@
+"""Unit tests for the seed-lineage dataflow analysis (repro.lint.dataflow).
+
+Each test builds a one-module call graph from an inline snippet and
+inspects the raw :class:`SeedEvent` stream — the layer below the SEED
+rules, so semantics are pinned independently of finding presentation.
+"""
+
+import textwrap
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.dataflow import analyze_seed_flow
+from repro.lint.engine import parse_module
+
+
+def _flow(source, module="fixturepkg.unit"):
+    text = f"# repro: module={module}\n" + textwrap.dedent(source)
+    parsed = parse_module(text, "fixture/unit.py")
+    graph = CallGraph.build([parsed])
+    return analyze_seed_flow(graph)
+
+
+def _sinks(flow):
+    return [e for e in flow.events if e.kind == "sink"]
+
+
+class TestDerivations:
+    def test_const_only_derivation_is_derived_but_free_of_vars(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed):
+                rng = np.random.default_rng(seed + 1)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.derived
+        assert event.lineage.free_vars == ()
+        assert event.lineage.derive_site is not None
+
+    def test_free_variable_derivation_records_the_variable(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed, i):
+                rng = np.random.default_rng(seed * 1_000_003 + i)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.free_vars == ("i",)
+        assert not event.lineage.domain_separated
+
+    def test_attribute_receiver_is_not_a_free_variable(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(config, i):
+                rng = np.random.default_rng(config.seed * 3 + i)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.root == "config.seed"
+        assert event.lineage.free_vars == ("i",)
+
+    def test_passthrough_builtin_keeps_the_lineage(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed, i):
+                rng = np.random.default_rng(int(seed * 2 + i))
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.derived
+        assert event.lineage.free_vars == ("i",)
+
+
+class TestDomainSeparation:
+    def test_tuple_with_int_literal_separates(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed, i):
+                rng = np.random.default_rng((seed, 0x7E, i))
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.domain_separated
+        assert event.lineage.fold_site is None
+
+    def test_tuple_with_module_constant_separates(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            _STREAM = 0x99
+
+            def root(seed, i):
+                rng = np.random.default_rng((seed, _STREAM, i))
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.domain_separated
+
+    def test_tuple_without_constant_records_fold_site(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed, i):
+                rng = np.random.default_rng((seed, i))
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert not event.lineage.domain_separated
+        assert event.lineage.fold_site is not None
+
+    def test_seed_sequence_separates(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(seed, i):
+                ss = np.random.SeedSequence(seed * 31 + i)
+                rng = np.random.default_rng(ss)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.domain_separated
+
+
+class TestRootsAndReroots:
+    def test_payload_unpack_reroots_the_seed_name(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def worker(payload):
+                algo, seed = payload
+                rng = np.random.default_rng(seed)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert event.lineage.root == "fixturepkg.unit.worker.seed"
+        assert not event.lineage.derived
+
+    def test_seedish_assignment_from_untracked_rhs_is_a_fresh_root(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(store):
+                seed = store["seed"]
+                rng = np.random.default_rng(seed)
+                return rng
+            """
+        )
+        (event,) = _sinks(flow)
+        assert not event.lineage.derived
+
+
+class TestInterprocedural:
+    def test_inlined_module_function_carries_caller_lineage(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def _mk(seed):
+                return np.random.default_rng(seed)
+
+            def root(seed, i):
+                return _mk(seed + 100 * i)
+            """
+        )
+        derived = [
+            e
+            for e in _sinks(flow)
+            if e.fn == "fixturepkg.unit._mk" and e.lineage.derived
+        ]
+        assert len(derived) == 1
+        assert derived[0].lineage.free_vars == ("i",)
+
+    def test_rng_consuming_class_is_a_handoff(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            class Sampler:
+                def __init__(self, seed):
+                    self._rng = np.random.default_rng(seed)
+
+            def root(seed, i):
+                return Sampler(seed + i)
+            """
+        )
+        handoffs = [e for e in flow.events if e.kind == "handoff"]
+        assert len(handoffs) == 1
+        assert handoffs[0].target == "fixturepkg.unit.Sampler"
+
+    def test_config_dataclass_is_not_a_handoff(self):
+        flow = _flow(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                seed: int = 0
+
+            def root(seed, i):
+                return Config(seed=seed + i)
+            """
+        )
+        assert [e for e in flow.events if e.kind == "handoff"] == []
+
+    def test_unresolved_seed_keyword_is_a_handoff(self):
+        flow = _flow(
+            """
+            def root(env, seed, i):
+                return env.run(seed=seed + 100 + i)
+            """
+        )
+        handoffs = [e for e in flow.events if e.kind == "handoff"]
+        assert len(handoffs) == 1
+        assert "seed=..." in handoffs[0].target
+
+
+class TestBoundaries:
+    def test_generator_into_fork_map_is_a_boundary(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            from repro.experiment import parallel
+
+            def _work(payload, item):
+                return item
+
+            def root(seed):
+                rng = np.random.default_rng((seed, 0x77))
+                return parallel.fork_map(_work, (rng, 1.0), range(2), workers=1)
+            """
+        )
+        boundaries = [e for e in flow.events if e.kind == "boundary"]
+        assert len(boundaries) == 1
+        assert boundaries[0].lineage.is_generator
+
+    def test_plain_seed_through_fork_map_is_not_a_boundary(self):
+        flow = _flow(
+            """
+            from repro.experiment import parallel
+
+            def _work(payload, item):
+                return item
+
+            def root(seed):
+                return parallel.fork_map(_work, (seed, 1.0), range(2), workers=1)
+            """
+        )
+        assert [e for e in flow.events if e.kind == "boundary"] == []
+
+    def test_pool_method_is_a_boundary_on_any_receiver(self):
+        flow = _flow(
+            """
+            import numpy as np
+
+            def root(pool, seed):
+                rng = np.random.default_rng((seed, 0x88))
+                return pool.apply_async(len, (rng,))
+            """
+        )
+        boundaries = [e for e in flow.events if e.kind == "boundary"]
+        assert len(boundaries) == 1
+
+
+class TestDeterminism:
+    def test_event_stream_is_stable_across_runs(self):
+        source = """
+        import numpy as np
+
+        def b(seed, i):
+            return np.random.default_rng(seed + i)
+
+        def a(seed, i):
+            return b(seed * 3 + i)
+        """
+        first = _flow(source)
+        second = _flow(source)
+        assert first.events == second.events

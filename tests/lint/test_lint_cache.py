@@ -99,6 +99,29 @@ class TestInvalidation:
         assert stale.get("m.py", source) is None
         assert stale.misses == 1
 
+    def test_editing_a_rule_file_rolls_the_ruleset_fingerprint(
+        self, tmp_path
+    ):
+        """The digest covers the lint package's own sources, so shipping a
+        new or edited rule (e.g. rules_seed.py) invalidates every cached
+        finding produced by the previous linter build."""
+        import shutil
+        from pathlib import Path
+
+        import repro.lint as lint_pkg
+
+        package_dir = Path(lint_pkg.__file__).resolve().parent
+        copy = tmp_path / "lint"
+        copy.mkdir()
+        for source in package_dir.glob("*.py"):
+            shutil.copy(source, copy / source.name)
+        before = cache_mod.ruleset_fingerprint(package_dir=copy)
+        assert before == cache_mod.ruleset_fingerprint(package_dir=copy)
+        with (copy / "rules_seed.py").open("a") as handle:
+            handle.write("\n# edited\n")
+        after = cache_mod.ruleset_fingerprint(package_dir=copy)
+        assert after != before
+
     def test_select_participates_in_the_key(self, cache_env):
         source = "x = 1\n"
         all_rules = FindingsCache(root=cache_env)

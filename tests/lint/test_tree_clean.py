@@ -36,3 +36,53 @@ class TestTreeClean:
 
         data = json.loads(baseline_path.read_text())
         assert data["findings"] == {}
+
+
+class TestTreeCleanWholeProgram:
+    """The full interprocedural gate — purity, seed lineage, and
+    checkpoint coverage — over the checked-in configs, exactly as CI runs
+    ``repro lint src --whole-program``."""
+
+    def test_src_lints_clean_whole_program(self):
+        from repro.lint.purity import PurityConfig
+        from repro.lint.rules_ckpt import FingerprintExclusions
+
+        config = PurityConfig.load(REPO_ROOT / "purity-roots.json")
+        exclusions = FingerprintExclusions.load(
+            REPO_ROOT / "fingerprint-exclusions.json"
+        )
+        report = lint_paths(
+            [SRC],
+            baseline=None,
+            whole_program=True,
+            purity_config=config,
+            fingerprint_exclusions=exclusions,
+        )
+        assert not report.parse_errors, report.parse_errors
+        assert not report.findings, "\n" + "\n".join(
+            f.format_human() for f in report.findings
+        )
+
+    def test_seed_and_ckpt_suppressions_carry_reasons(self):
+        from repro.lint.purity import PurityConfig
+        from repro.lint.rules_ckpt import FingerprintExclusions
+
+        config = PurityConfig.load(REPO_ROOT / "purity-roots.json")
+        exclusions = FingerprintExclusions.load(
+            REPO_ROOT / "fingerprint-exclusions.json"
+        )
+        report = lint_paths(
+            [SRC],
+            baseline=None,
+            whole_program=True,
+            purity_config=config,
+            fingerprint_exclusions=exclusions,
+        )
+        waived = [
+            f
+            for f in report.suppressed
+            if f.rule.startswith("SEED") or f.rule.startswith("CKPT")
+        ]
+        assert waived, "expected reasoned SEED/CKPT waivers in the tree"
+        for finding in waived:
+            assert finding.suppression_reason.strip(), finding.format_human()
