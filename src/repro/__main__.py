@@ -351,10 +351,17 @@ def _fleet_cli_args(args: argparse.Namespace) -> dict:
         "archive_dir": args.archive_dir,
         "executor": args.executor,
         "batch_lanes": args.batch_lanes,
+        "cells": args.cells,
+        "cell_dist": args.cell_dist,
+        "cell_capacity_bps": args.cell_capacity_bps,
+        "cache_chunks": args.cache_chunks,
+        "zipf_alpha": args.zipf_alpha,
+        "edge_seed": args.edge_seed,
     }
 
 
 def _fleet_config_from_args(args: argparse.Namespace):
+    from repro.edge import EdgeConfig
     from repro.experiment.presets import smoke_trial_config
     from repro.fleet import FleetConfig, WorkloadConfig
 
@@ -367,18 +374,39 @@ def _fleet_config_from_args(args: argparse.Namespace):
         seed=args.seed,
     )
     trial = smoke_trial_config(seed=args.trial_seed)
+    edge = None
+    if args.cells is not None:
+        edge = EdgeConfig(
+            mean_cell_sessions=args.cells,
+            cell_size_dist=args.cell_dist,
+            cell_capacity_bps=args.cell_capacity_bps,
+            cache_chunks=args.cache_chunks,
+            zipf_alpha=args.zipf_alpha,
+            seed=args.edge_seed,
+        )
     return _fleet_specs(args.schemes), FleetConfig(
         workload=workload,
         trial=trial,
         chunk_sessions=args.chunk_size,
         executor=args.executor,
         batch_lanes=args.batch_lanes,
+        edge=edge,
     )
 
 
 def _print_fleet_result(result, args: argparse.Namespace) -> int:
     if result.throughput is not None:
         print(result.throughput.format(), file=sys.stderr)
+    if result.edge_stats is not None:
+        stats = result.edge_stats
+        served = stats["cache_hits"] + stats["cache_misses"]
+        ratio = stats["cache_hits"] / served if served else 0.0
+        print(
+            f"edge tier: {stats['cells']} cells "
+            f"({stats['shared_cells']} shared), cache hit ratio "
+            f"{ratio:.3f} ({stats['cache_hits']}/{served})",
+            file=sys.stderr,
+        )
     print(result.format_table())
     if not result.completed:
         print(
@@ -475,6 +503,11 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
 def _cmd_fleet_retrain(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint")
+    if args.cells is not None:
+        raise SystemExit(
+            "--cells is not supported with retrain (the continual-training "
+            "driver runs the classic private-link fleet)"
+        )
     return _run_fleet_retrain_from_args(args, resume=args.resume)
 
 
@@ -522,6 +555,16 @@ def _cmd_fleet_resume(args: argparse.Namespace) -> int:
         archive_dir=stored["archive_dir"],
         executor=str(stored.get("executor", "auto")),
         batch_lanes=int(stored.get("batch_lanes", 64)),
+        cells=(
+            float(stored["cells"])
+            if stored.get("cells") is not None
+            else None
+        ),
+        cell_dist=str(stored.get("cell_dist", "geometric")),
+        cell_capacity_bps=float(stored.get("cell_capacity_bps", 60e6)),
+        cache_chunks=int(stored.get("cache_chunks", 256)),
+        zipf_alpha=float(stored.get("zipf_alpha", 1.1)),
+        edge_seed=int(stored.get("edge_seed", 0)),
         checkpoint=args.checkpoint,
         workers=args.workers,
         stop_after=args.stop_after,
@@ -716,6 +759,35 @@ def build_parser() -> argparse.ArgumentParser:
             "--batch-lanes", type=int, default=64,
             help="lockstep width of the batch executor (does not affect "
             "results)",
+        )
+        p.add_argument(
+            "--cells", type=float, default=None, metavar="MEAN",
+            help="enable the edge-contention tier: partition arrivals into "
+            "shared-bottleneck cells with this mean size (sessions); "
+            "omit for the classic private-link fleet",
+        )
+        p.add_argument(
+            "--cell-dist", choices=["fixed", "geometric"],
+            default="geometric",
+            help="cell-size distribution around --cells (fixed rounds the "
+            "mean; geometric is seeded per cell)",
+        )
+        p.add_argument(
+            "--cell-capacity-bps", type=float, default=60e6,
+            help="median shared bottleneck capacity per cell (bits/s)",
+        )
+        p.add_argument(
+            "--cache-chunks", type=int, default=256,
+            help="edge cache capacity per cell in chunks (0 disables)",
+        )
+        p.add_argument(
+            "--zipf-alpha", type=float, default=1.1,
+            help="Zipf exponent of within-cell channel popularity",
+        )
+        p.add_argument(
+            "--edge-seed", type=int, default=0,
+            help="seed of the edge tier (cell sizes, capacities, "
+            "popularity permutations)",
         )
         p.add_argument(
             "--checkpoint", default=None, metavar="PATH",

@@ -1,0 +1,70 @@
+"""Deterministic per-cell LRU edge cache.
+
+Keys are ``(channel, chunk_index, rung)`` — the identity of one encoded
+chunk version, matching what a CDN edge actually stores (each quality of
+each segment is a distinct object).  The cache is plain LRU over an
+``OrderedDict``; all state transitions are pure functions of the lookup
+sequence, so a resumed cell replays to the identical cache state.
+
+A capacity of zero disables the cache (every lookup misses, nothing is
+stored) — the configuration the degenerate-equivalence tests run under.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+ChunkKey = Tuple[Optional[str], int, int]
+"""``(channel_name, chunk_index, rung)``."""
+
+
+class EdgeCache:
+    """LRU cache over chunk versions, counting hits and misses."""
+
+    def __init__(self, capacity_chunks: int) -> None:
+        if capacity_chunks < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_chunks = int(capacity_chunks)
+        self._entries: "OrderedDict[ChunkKey, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: ChunkKey) -> bool:
+        """Probe the cache; a hit refreshes the entry's recency.
+
+        Counts the probe either way.  Misses do *not* insert — call
+        :meth:`insert` once the origin fetch completes (an edge admits an
+        object only after it has actually arrived).
+        """
+        if self.capacity_chunks == 0:
+            self.misses += 1
+            return False
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: ChunkKey) -> None:
+        """Admit an object, evicting the least recently used past capacity."""
+        if self.capacity_chunks == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = None
+        while len(self._entries) > self.capacity_chunks:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -23,7 +23,16 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -38,10 +47,32 @@ from repro.experiment.schemes import SchemeSpec
 from repro.experiment.watch import ViewerModel
 from repro.media.encoder import VbrEncoder
 from repro.media.source import DEFAULT_CHANNELS, Channel, VideoSource
-from repro.net.path import PathSampler, PopulationModel
+from repro.net.path import NetworkPath, PathSampler, PopulationModel
+from repro.net.tcp import TransmissionResult
 from repro.streaming.session import StreamResult
-from repro.streaming.simulator import simulate_stream
+from repro.streaming.simulator import (
+    TransmitRequest,
+    Transport,
+    simulate_stream,
+    stream_machine,
+)
 from repro.streaming.telemetry import TelemetryLog
+
+__all__ = [
+    "ConnectRequest",
+    "RandomizedTrial",
+    "SessionResult",
+    "SessionShard",
+    "TrialConfig",
+    "TrialResult",
+    "assign_expt_ids",
+    "connection_seed",
+    "media_seed",
+    "merge_shards",
+    "run_session",
+    "session_machine",
+    "simulate_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -249,35 +280,62 @@ def connection_seed(trial_seed: int, session_id: int) -> tuple:
     return (trial_seed, 0x1055, session_id)
 
 
-@sanitizer.guarded("run_session")
-def run_session(
+@dataclass(frozen=True)
+class ConnectRequest:
+    """First yield of :func:`session_machine`: the session's sampled path
+    and the seed for its loss process.
+
+    The driver answers with a transport — :meth:`NetworkPath.connect` for
+    the classic private-link trial, or a shared-bottleneck fluid flow built
+    from the same path in :mod:`repro.edge`.  ``obs_ctx`` is the session's
+    observability context (``None`` when collection is off); drivers must
+    activate it around every resume of the machine so instrumentation in
+    the streaming/net layers lands on the right shard.
+    """
+
+    session_id: int
+    path: NetworkPath
+    seed: tuple
+    obs_ctx: Optional["obs.ObsContext"] = None
+
+
+SessionMachine = Generator[
+    Union[ConnectRequest, TransmitRequest],
+    Union[Transport, TransmissionResult],
+    SessionShard,
+]
+
+
+ChannelChooser = Callable[[np.random.Generator, Sequence[Channel]], Channel]
+"""Optional channel-selection hook for :func:`session_machine`: called with
+the session's own generator and the trial's channel list.  ``None`` keeps
+the historical uniform draw (one ``rng.integers`` call).  The edge tier
+passes a cell-local Zipf popularity sampler here — viewers at the same
+edge concentrate on locally hot channels, which is what gives the cell
+cache its hit ratio."""
+
+
+def session_machine(
     specs: Sequence[SchemeSpec],
     config: TrialConfig,
     session_id: int,
     expt_ids: Optional[Mapping[str, int]] = None,
     algorithms: Optional[Mapping[str, AbrAlgorithm]] = None,
-) -> SessionShard:
-    """Simulate one randomized session — the pure unit of work both the
-    serial loop and the parallel engine execute.
+    channel_chooser: Optional[ChannelChooser] = None,
+) -> SessionMachine:
+    """One randomized session as a resumable generator.
 
-    Every random draw is keyed on ``(config.seed, session_id)`` so the
-    result depends only on the arguments, never on which sessions ran
-    before it or on which process runs it.  This is also the declared
-    purity root of the static analyzer (``purity-roots.json``); under
-    ``REPRO_SANITIZE=1`` the body runs inside a :mod:`repro.sanitizer`
-    guard that turns any surviving impurity into a hard error.
+    Yields a single :class:`ConnectRequest` (answered with the session's
+    transport), then :class:`~repro.streaming.simulator.TransmitRequest`
+    objects forwarded from :func:`stream_machine` (each answered with a
+    :class:`~repro.net.tcp.TransmissionResult`), and returns the
+    :class:`SessionShard` via ``StopIteration.value``.
 
-    Parameters
-    ----------
-    expt_ids:
-        The trial's blinded id assignment; derived from ``config.seed`` when
-        omitted.
-    algorithms:
-        Cache of built scheme instances keyed by name.  Callers that run
-        many sessions pass a long-lived cache (one per trial in the serial
-        path, one per worker process in the parallel path — never shared
-        across processes, which is what removes the shared-instance
-        hazard); when omitted, fresh instances are built for this session.
+    Every random draw is keyed on ``(config.seed, session_id)`` in exactly
+    the order of the historical ``run_session`` body, so a driver that
+    answers requests the way a private connection would reproduces the old
+    results bit for bit — that equivalence is what lets
+    :func:`repro.edge.engine.run_cell` reuse this machine unchanged.
     """
     if expt_ids is None:
         expt_ids = assign_expt_ids(specs, config.seed)
@@ -286,8 +344,8 @@ def run_session(
 
     consort = ConsortFlow()
     telemetry = TelemetryLog() if config.collect_telemetry else None
-    # Shard-local observability: a fresh context per session, activated for
-    # the duration of the simulation, shipped back on the shard, and merged
+    # Shard-local observability: a fresh context per session, activated by
+    # the driver around every resume, shipped back on the shard, and merged
     # by session id — which is what keeps the merged metrics bit-identical
     # between the serial loop and the process pool.
     obs_ctx = obs.ObsContext() if config.observability else None
@@ -310,7 +368,13 @@ def run_session(
         # repro: allow-SEED001(legacy path seed; the batch lane and all collected telemetry depend on this exact arithmetic form staying bit-identical)
         population=config.population, seed=config.seed * 1_000_003 + session_id
     ).next_path()
-    connection = path.connect(seed=connection_seed(config.seed, session_id))
+    transport = yield ConnectRequest(
+        session_id=session_id,
+        path=path,
+        seed=connection_seed(config.seed, session_id),
+        obs_ctx=obs_ctx,
+    )
+    assert not isinstance(transport, TransmissionResult)
     clock = 0.0  # connection time shared across the session's streams
 
     n_streams = 1
@@ -320,60 +384,63 @@ def run_session(
     ):
         n_streams += 1
 
-    with obs.activate(obs_ctx):
-        for stream_no in range(n_streams):
-            kind = config.viewer.sample_stream_kind(rng)
-            watch = config.viewer.sample_watch_time(kind, rng)
+    for stream_no in range(n_streams):
+        kind = config.viewer.sample_stream_kind(rng)
+        watch = config.viewer.sample_watch_time(kind, rng)
+        if channel_chooser is None:
             channel = config.channels[int(rng.integers(len(config.channels)))]
-            media_rng = np.random.default_rng(
-                media_seed(config.seed, session_id, stream_no)
-            )
-            source = VideoSource(channel, rng=media_rng)
-            encoder = VbrEncoder(rng=media_rng)
-            hook = (
-                config.viewer.make_extension_hook(rng)
-                if kind == "view"
-                else None
-            )
-            stream_id = session_id * config.max_streams_per_session + stream_no
-            result = simulate_stream(
-                encoder.stream(source),
-                algorithm,
-                connection,
-                watch_time_s=watch,
-                stream_id=stream_id,
-                expt_id=session.expt_id,
-                telemetry=telemetry,
-                extension_hook=hook,
-                start_time=clock,
-            )
-            result.scheme_name = spec.name
-            clock += result.total_time + float(rng.uniform(0.1, 2.0))
-            # A viewer may change channels while a chunk is still in
-            # flight; the connection must finish (or the kernel flush)
-            # before the next stream's first chunk goes out.
-            clock = max(clock, connection.busy_until + 1e-6)
-            session.streams.append(result)
+        else:
+            channel = channel_chooser(rng, config.channels)
+        media_rng = np.random.default_rng(
+            media_seed(config.seed, session_id, stream_no)
+        )
+        source = VideoSource(channel, rng=media_rng)
+        encoder = VbrEncoder(rng=media_rng)
+        hook = (
+            config.viewer.make_extension_hook(rng)
+            if kind == "view"
+            else None
+        )
+        stream_id = session_id * config.max_streams_per_session + stream_no
+        result = yield from stream_machine(
+            encoder.stream(source),
+            algorithm,
+            transport,
+            watch_time_s=watch,
+            stream_id=stream_id,
+            expt_id=session.expt_id,
+            telemetry=telemetry,
+            extension_hook=hook,
+            start_time=clock,
+            channel_name=channel.name,
+        )
+        result.scheme_name = spec.name
+        clock += result.total_time + float(rng.uniform(0.1, 2.0))
+        # A viewer may change channels while a chunk is still in
+        # flight; the connection must finish (or the kernel flush)
+        # before the next stream's first chunk goes out.
+        clock = max(clock, transport.busy_until + 1e-6)
+        session.streams.append(result)
 
-            arm.streams_assigned += 1
-            category = classify_stream(result)
-            if (
-                category == "considered"
-                and rng.random() < config.slow_decoder_prob
-            ):
-                result.excluded = True
-                category = "slow_video_decoder"
-            if category == "did_not_begin":
-                arm.did_not_begin += 1
-            elif category == "watch_time_under_4s":
-                arm.watch_time_under_4s += 1
-            elif category == "slow_video_decoder":
-                arm.slow_video_decoder += 1
-            else:
-                arm.considered += 1
-                arm.considered_watch_time_s += result.watch_time
-                if rng.random() < config.loss_of_contact_prob:
-                    arm.truncated_loss_of_contact += 1
+        arm.streams_assigned += 1
+        category = classify_stream(result)
+        if (
+            category == "considered"
+            and rng.random() < config.slow_decoder_prob
+        ):
+            result.excluded = True
+            category = "slow_video_decoder"
+        if category == "did_not_begin":
+            arm.did_not_begin += 1
+        elif category == "watch_time_under_4s":
+            arm.watch_time_under_4s += 1
+        elif category == "slow_video_decoder":
+            arm.slow_video_decoder += 1
+        else:
+            arm.considered += 1
+            arm.considered_watch_time_s += result.watch_time
+            if rng.random() < config.loss_of_contact_prob:
+                arm.truncated_loss_of_contact += 1
 
     if obs_ctx is not None:
         obs_ctx.metrics.inc("trial.sessions")
@@ -388,6 +455,62 @@ def run_session(
     return SessionShard(
         session=session, consort=consort, telemetry=telemetry, obs=obs_ctx
     )
+
+
+@sanitizer.guarded("run_session")
+def run_session(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    session_id: int,
+    expt_ids: Optional[Mapping[str, int]] = None,
+    algorithms: Optional[Mapping[str, AbrAlgorithm]] = None,
+) -> SessionShard:
+    """Simulate one randomized session — the pure unit of work both the
+    serial loop and the parallel engine execute.
+
+    Drives :func:`session_machine` against a private per-session TCP
+    connection: the connect request is answered with
+    ``path.connect(seed)`` and every transmit request with
+    ``connection.transmit(...)`` — the exact call sequence of the
+    historical inline implementation, so results are bit-identical to it.
+
+    Every random draw is keyed on ``(config.seed, session_id)`` so the
+    result depends only on the arguments, never on which sessions ran
+    before it or on which process runs it.  This is also the declared
+    purity root of the static analyzer (``purity-roots.json``); under
+    ``REPRO_SANITIZE=1`` the body runs inside a :mod:`repro.sanitizer`
+    guard that turns any surviving impurity into a hard error.
+
+    Parameters
+    ----------
+    expt_ids:
+        The trial's blinded id assignment; derived from ``config.seed`` when
+        omitted.
+    algorithms:
+        Cache of built scheme instances keyed by name.  Callers that run
+        many sessions pass a long-lived cache (one per trial in the serial
+        path, one per worker process in the parallel path — never shared
+        across processes, which is what removes the shared-instance
+        hazard); when omitted, fresh instances are built for this session.
+    """
+    machine = session_machine(
+        specs, config, session_id, expt_ids=expt_ids, algorithms=algorithms
+    )
+    # The machine's pre-connect setup (scheme assignment, path sampling)
+    # historically ran outside the observability activation; preserve that.
+    connect = machine.send(None)  # type: ignore[arg-type]
+    assert isinstance(connect, ConnectRequest)
+    connection = connect.path.connect(seed=connect.seed)
+    with obs.activate(connect.obs_ctx):
+        response: "Transport | TransmissionResult" = connection
+        while True:
+            try:
+                request = machine.send(response)
+            except StopIteration as stop:
+                shard: SessionShard = stop.value
+                return shard
+            assert isinstance(request, TransmitRequest)
+            response = connection.transmit(request.size_bytes, request.send_at)
 
 
 def merge_shards(

@@ -512,6 +512,11 @@ def run_fleet_retrain(
         raise ValueError("workers must be >= 1")
     if stop_after_sessions is not None and stop_after_sessions < 1:
         raise ValueError("stop_after_sessions must be >= 1")
+    if config.edge is not None:
+        raise ValueError(
+            "edge cell mode is not supported with continual retraining "
+            "(set FleetConfig.edge=None)"
+        )
 
     fingerprint = config_fingerprint(
         config.fingerprint(base_specs), retrain.to_dict()

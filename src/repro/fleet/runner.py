@@ -36,6 +36,8 @@ from repro.batch import is_vectorizable_algorithm, run_session_batch
 from repro.analysis.bootstrap import ConfidenceInterval
 from repro.analysis.summary import SchemeSummary
 from repro.data.archive import ArchiveAppender
+from repro.edge.cells import Cell, EdgeConfig, iter_cells
+from repro.edge.engine import run_cell
 from repro.experiment.consort import classify_stream
 from repro.experiment.harness import (
     SessionShard,
@@ -95,6 +97,13 @@ class FleetConfig:
     round).  Not part of the fingerprint: shards are bit-identical at any
     lane count."""
 
+    edge: Optional[EdgeConfig] = None
+    """Cell mode: partition arrivals into shared-bottleneck edge cells and
+    run each cell through :func:`repro.edge.engine.run_cell` (singleton
+    cells dispatch to the private-link path bit-identically).  ``None``
+    keeps the classic one-private-link-per-session executor.  Part of the
+    fingerprint — cell mode changes the science."""
+
     def __post_init__(self) -> None:
         if self.chunk_sessions < 1:
             raise ValueError("chunk_sessions must be >= 1")
@@ -108,9 +117,10 @@ class FleetConfig:
 
         Covers everything that changes the science: the workload, the
         per-session trial knobs (including the viewer/population models,
-        via their stable dataclass reprs), and the scheme set.  Excludes
-        pure execution knobs (workers, chunk size, checkpoint cadence,
-        executor/batch lanes).
+        via their stable dataclass reprs), the scheme set, and the edge
+        tier when enabled (appended only then, so classic checkpoints keep
+        their historical fingerprints).  Excludes pure execution knobs
+        (workers, chunk size, checkpoint cadence, executor/batch lanes).
         """
         trial = self.trial
         trial_knobs = {
@@ -123,11 +133,14 @@ class FleetConfig:
             "slow_decoder_prob": trial.slow_decoder_prob,
             "loss_of_contact_prob": trial.loss_of_contact_prob,
         }
-        return config_fingerprint(
+        parts: List[object] = [
             self.workload.to_dict(),
             trial_knobs,
             [spec.name for spec in specs],
-        )
+        ]
+        if self.edge is not None:
+            parts.append({"edge": self.edge.to_dict()})
+        return config_fingerprint(*parts)
 
 
 @dataclass(frozen=True)
@@ -171,6 +184,12 @@ class FleetResult:
     checkpoint_path: Optional[str] = None
     archive_dir: Optional[str] = None
     dump_path: Optional[str] = None
+    edge_stats: Optional[dict] = None
+    """Edge-tier accounting (cells, shared_cells, cache_hits, cache_misses)
+    when cell mode is on.  Deliberately excluded from the dump: the dump
+    surface is identical between a degenerate cell run and a classic run,
+    which is what the byte-equivalence tests compare.  Cache behaviour is
+    observable through :mod:`repro.obs` counters instead."""
 
     def summaries(self) -> List[SchemeSummary]:
         return self.sink.summaries()
@@ -272,6 +291,11 @@ class _FleetChunk:
     telemetry: Optional[TelemetryLog]
     n_streams: int
     busy_s: float
+    # Edge-tier accounting (zero in classic mode; never enters the dump).
+    cells: int = 0
+    shared_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def _fold_session(
@@ -357,22 +381,104 @@ def _simulate_chunk(
     )
 
 
+_CellItems = Tuple[int, List[Tuple[int, float]]]
+"""One cell's share of a chunk: ``(cell_id, [(session_id, time_s), ...])``
+with the arrivals contiguous and covering the whole (possibly truncated)
+cell."""
+
+
+def _simulate_cell_chunk(
+    specs: Sequence[SchemeSpec],
+    config: TrialConfig,
+    expt_ids: Dict[str, int],
+    algorithms: _AbrCache,
+    edge: EdgeConfig,
+    cell_items: Sequence[_CellItems],
+) -> _FleetChunk:
+    """Simulate a chunk of whole cells into one exact sink delta.
+
+    Each cell runs through :func:`repro.edge.engine.run_cell` with offsets
+    measured from the cell's first arrival (sessions in a cell contend in
+    arrival order; cells are independent, so absolute time never matters).
+    Singleton cells dispatch to ``run_session`` inside ``run_cell`` and are
+    bit-identical to the private-link executor.
+    """
+    delta = FleetSink()
+    telemetry = TelemetryLog() if config.collect_telemetry else None
+    n_streams = 0
+    cells = shared_cells = cache_hits = cache_misses = 0
+    # repro: allow-DET002(per-chunk busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
+    start = time.perf_counter()
+    for cell_id, items in cell_items:
+        cell = Cell(
+            cell_id=cell_id,
+            start_session_id=items[0][0],
+            size=len(items),
+        )
+        first_time_s = items[0][1]
+        result = run_cell(
+            specs,
+            config,
+            cell,
+            edge,
+            offsets=[time_s - first_time_s for _, time_s in items],
+            expt_ids=expt_ids,
+            algorithms=algorithms,
+        )
+        cells += 1
+        shared_cells += 1 if result.shared else 0
+        cache_hits += result.cache_hits
+        cache_misses += result.cache_misses
+        for (session_id, time_s), shard in zip(items, result.shards):
+            n_streams += _fold_session(
+                delta,
+                shard,
+                SessionArrival(session_id=session_id, time_s=time_s),
+            )
+            if telemetry is not None and shard.telemetry is not None:
+                telemetry.extend(shard.telemetry)
+    return _FleetChunk(
+        first_session_id=cell_items[0][1][0][0],
+        last_session_id=cell_items[-1][1][-1][0],
+        delta=delta,
+        telemetry=telemetry,
+        n_streams=n_streams,
+        # repro: allow-DET002(per-chunk busy-time report; never enters results) repro: allow-PURE002(busy-time report only; never enters session results)
+        busy_s=time.perf_counter() - start,
+        cells=cells,
+        shared_cells=shared_cells,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
 # Worker-side state: fork-inherited payload plus a lazily-built per-process
 # scheme-instance cache (instances are never shared across processes).
 _FLEET_PAYLOAD: Optional[
-    Tuple[List[SchemeSpec], TrialConfig, Dict[str, int], str, int]
+    Tuple[
+        List[SchemeSpec],
+        TrialConfig,
+        Dict[str, int],
+        str,
+        int,
+        Optional[EdgeConfig],
+    ]
 ] = None
 _FLEET_ALGORITHMS: Optional[_AbrCache] = None
 
 
-def _run_fleet_chunk(items: Sequence[Tuple[int, float]]) -> _FleetChunk:
+def _run_fleet_chunk(items: Sequence) -> _FleetChunk:
     global _FLEET_ALGORITHMS
     if _FLEET_PAYLOAD is None:
         raise RuntimeError("fleet worker payload missing (pool misconfigured)")
-    specs, config, expt_ids, executor, batch_lanes = _FLEET_PAYLOAD
+    specs, config, expt_ids, executor, batch_lanes, edge = _FLEET_PAYLOAD
     if _FLEET_ALGORITHMS is None:
         # repro: allow-PURE001(per-process scheme cache; instances never cross a process boundary, mirrors experiment.parallel._WorkerState)
         _FLEET_ALGORITHMS = {spec.name: spec.build() for spec in specs}
+    if edge is not None:
+        return _simulate_cell_chunk(
+            specs, config, expt_ids, _FLEET_ALGORITHMS, edge, items
+        )
     return _simulate_chunk(
         specs,
         config,
@@ -419,6 +525,58 @@ def _chunked(
         yield chunk
 
 
+def _chunked_cells(
+    arrivals: Iterator[SessionArrival],
+    edge: EdgeConfig,
+    size: int,
+    start_session_id: int = 0,
+) -> Iterator[List[_CellItems]]:
+    """Group arrivals into commit-sized chunks of *whole* cells.
+
+    The cell partition is a pure function of the edge config (sizes seeded
+    per cell id), so any resume point recomputes the same boundaries.  A
+    chunk closes at the first cell boundary at or past ``size`` sessions —
+    every committed ``next_session_id`` is therefore itself a cell
+    boundary, which is what makes kill/resume alignment automatic.  The
+    final cell of a finite workload may be truncated by the arrival stream
+    (fewer sessions than its seeded size); contention among the sessions
+    that did arrive is unaffected.
+    """
+    cells = iter_cells(edge)
+    cell = next(cells)
+    while cell.end_session_id <= start_session_id:
+        cell = next(cells)
+    if cell.start_session_id != start_session_id:
+        raise ValueError(
+            f"resume session {start_session_id} is not a cell boundary "
+            f"(cell {cell.cell_id} spans "
+            f"[{cell.start_session_id}, {cell.end_session_id}))"
+        )
+    chunk: List[_CellItems] = []
+    sessions_in_chunk = 0
+    current: List[Tuple[int, float]] = []
+    for arrival in arrivals:
+        if arrival.session_id != cell.start_session_id + len(current):
+            raise ValueError(
+                f"arrival stream out of step with cell partition: got "
+                f"session {arrival.session_id} inside cell {cell.cell_id}"
+            )
+        current.append((arrival.session_id, arrival.time_s))
+        if len(current) == cell.size:
+            chunk.append((cell.cell_id, current))
+            sessions_in_chunk += len(current)
+            current = []
+            cell = next(cells)
+            if sessions_in_chunk >= size:
+                yield chunk
+                chunk = []
+                sessions_in_chunk = 0
+    if current:
+        chunk.append((cell.cell_id, current))
+    if chunk:
+        yield chunk
+
+
 def _fork_context(
     workers: int,
 ) -> Optional[multiprocessing.context.BaseContext]:
@@ -438,8 +596,9 @@ def _execute_chunks(
     expt_ids: Dict[str, int],
     executor: str,
     batch_lanes: int,
-    chunks: Iterator[List[Tuple[int, float]]],
+    chunks: Iterator[List],
     workers: int,
+    edge: Optional[EdgeConfig] = None,
 ) -> Iterator[_FleetChunk]:
     """Execute chunks in session-id order, yielding each exact delta.
 
@@ -459,7 +618,7 @@ def _execute_chunks(
     if ctx is not None:
         global _FLEET_PAYLOAD
         _FLEET_PAYLOAD = (
-            list(specs), trial, dict(expt_ids), executor, batch_lanes
+            list(specs), trial, dict(expt_ids), executor, batch_lanes, edge
         )
         try:
             with ctx.Pool(processes=workers) as pool:
@@ -474,15 +633,20 @@ def _execute_chunks(
     else:
         algorithms: _AbrCache = {spec.name: spec.build() for spec in specs}
         for items in chunks:
-            yield _simulate_chunk(
-                specs,
-                trial,
-                expt_ids,
-                algorithms,
-                items,
-                executor=executor,
-                batch_lanes=batch_lanes,
-            )
+            if edge is not None:
+                yield _simulate_cell_chunk(
+                    specs, trial, expt_ids, algorithms, edge, items
+                )
+            else:
+                yield _simulate_chunk(
+                    specs,
+                    trial,
+                    expt_ids,
+                    algorithms,
+                    items,
+                    executor=executor,
+                    batch_lanes=batch_lanes,
+                )
 
 
 # ---------------------------------------------------------------------------
@@ -553,11 +717,17 @@ def run_fleet(
     sink = FleetSink()
     next_session_id = 0
     stored_offsets: Optional[Dict[str, int]] = None
+    edge_stats = {
+        "cells": 0, "shared_cells": 0, "cache_hits": 0, "cache_misses": 0,
+    }
     if resume and manager is not None and manager.exists():
         checkpoint = manager.load(expected_fingerprint=fingerprint)
         sink = checkpoint.sink
         next_session_id = checkpoint.next_session_id
         stored_offsets = checkpoint.archive_offsets
+        stored_edge = checkpoint.extra.get("edge")
+        if stored_edge is not None:
+            edge_stats.update({k: int(v) for k, v in stored_edge.items()})
 
     appender: Optional[ArchiveAppender] = None
     if archive_dir is not None:
@@ -583,14 +753,27 @@ def run_fleet(
                 archive_offsets=offsets,
                 cli_args=cli_args,
                 completed=completed,
+                extra=(
+                    {"edge": dict(edge_stats)}
+                    if config.edge is not None
+                    else {}
+                ),
             )
         )
 
     generator = WorkloadGenerator(config.workload)
-    chunks = _chunked(
-        generator.arrivals(start_session_id=next_session_id),
-        config.chunk_sessions,
-    )
+    if config.edge is not None:
+        chunks: Iterator[List] = _chunked_cells(
+            generator.arrivals(start_session_id=next_session_id),
+            config.edge,
+            config.chunk_sessions,
+            start_session_id=next_session_id,
+        )
+    else:
+        chunks = _chunked(
+            generator.arrivals(start_session_id=next_session_id),
+            config.chunk_sessions,
+        )
 
     commits = 0
     streams_this_run = 0
@@ -609,6 +792,10 @@ def run_fleet(
         commits += 1
         sessions_this_run += chunk_result.delta.sessions
         streams_this_run += chunk_result.n_streams
+        edge_stats["cells"] += chunk_result.cells
+        edge_stats["shared_cells"] += chunk_result.shared_cells
+        edge_stats["cache_hits"] += chunk_result.cache_hits
+        edge_stats["cache_misses"] += chunk_result.cache_misses
         save_checkpoint(completed=False)
         if obs.ENABLED:
             obs.counter_inc("fleet.commits")
@@ -622,11 +809,24 @@ def run_fleet(
             and next_session_id >= stop_after_sessions
         )
 
-    executor = _resolve_executor(config.executor, specs, trial)
+    if config.edge is not None:
+        # The cell engine drives session machines itself; the batch kernel's
+        # private-link lockstep does not apply.  Singleton cells still take
+        # the scalar run_session path inside run_cell.
+        executor = "scalar"
+    else:
+        executor = _resolve_executor(config.executor, specs, trial)
     mode = "fork" if _fork_context(workers) is not None else "serial"
 
     chunk_results = _execute_chunks(
-        specs, trial, expt_ids, executor, config.batch_lanes, chunks, workers
+        specs,
+        trial,
+        expt_ids,
+        executor,
+        config.batch_lanes,
+        chunks,
+        workers,
+        edge=config.edge,
     )
     try:
         for chunk_result in chunk_results:
@@ -664,4 +864,5 @@ def run_fleet(
         ),
         checkpoint_path=checkpoint_path,
         archive_dir=archive_dir,
+        edge_stats=dict(edge_stats) if config.edge is not None else None,
     )

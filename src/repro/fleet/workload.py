@@ -139,13 +139,25 @@ class WorkloadConfig:
     def peak_rate_per_hour(self) -> float:
         """Upper bound on :meth:`rate_per_hour` (the thinning envelope).
 
-        Conservative when flash crowds overlap (the bound multiplies all
-        their multipliers); thinning only requires an upper bound.
+        The diurnal factor is bounded by ``1 + amplitude``.  The flash-crowd
+        factor is the *exact* maximum over time of the product of the
+        multipliers simultaneously active: the product is piecewise constant
+        and only increases when a window opens (multipliers are ``>= 1``),
+        so its maximum is attained at some crowd's ``start_s``.  Each
+        candidate product is recomputed from scratch, so overlapping crowds
+        no longer degrade thinning acceptance with the product of *all*
+        multipliers.
         """
         bound = self.sessions_per_hour * (1.0 + self.diurnal_amplitude)
+        best = 1.0
         for crowd in self.flash_crowds:
-            bound *= crowd.multiplier
-        return bound
+            product = 1.0
+            for other in self.flash_crowds:
+                if other.active_at(crowd.start_s):
+                    product *= other.multiplier
+            if product > best:
+                best = product
+        return bound * best
 
     def expected_sessions(self) -> float:
         """Mean of the total-arrival distribution (trapezoidal integral of

@@ -17,6 +17,7 @@ Two families matter for the paper:
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 import numpy as np
@@ -64,6 +65,21 @@ class LinkModel:
     def capacity_at(self, t: float) -> float:
         """Instantaneous capacity in bits/s at absolute time ``t >= 0``."""
         raise NotImplementedError
+
+    def next_change_after(self, t: float) -> float:
+        """Earliest time strictly after ``t`` at which capacity may change.
+
+        Event-driven co-simulation (:mod:`repro.edge.engine`) advances
+        fluid flows at constant rates between change points and re-solves
+        shares at each one; this is how a link declares its change points.
+        The default declares the capacity constant (``inf``) — every
+        epoch-based link in this package overrides it; a custom
+        continuously-varying subclass should too, or the co-simulation
+        will treat its capacity as frozen between flow events.
+        """
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        return math.inf
 
     def capacity_batch(self, times: np.ndarray) -> np.ndarray:
         """Capacities at a 1-D array of times (bit-identical to looping
@@ -127,6 +143,13 @@ class TraceLink(LinkModel):
     def duration(self) -> float:
         return len(self.rates_bps) * self.epoch
 
+    def next_change_after(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        if not self.loop and t >= self.duration:
+            return math.inf  # holds its last rate forever
+        return (epoch_index(t, self.epoch) + 1) * self.epoch
+
     def capacity_at(self, t: float) -> float:
         if t < 0:
             raise ValueError("time must be non-negative")
@@ -153,12 +176,17 @@ class TraceLink(LinkModel):
 class _LazyEpochLink(LinkModel):
     """Base for stochastic links that realize capacity one epoch at a time."""
 
-    def __init__(self, epoch: float, seed: int) -> None:
+    def __init__(self, epoch: float, seed: "int | tuple") -> None:
         if epoch <= 0:
             raise ValueError("epoch must be positive")
         self.epoch = epoch
         self.rng = np.random.default_rng(seed)
         self._realized: List[float] = []
+
+    def next_change_after(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        return (epoch_index(t, self.epoch) + 1) * self.epoch
 
     def _next_epoch_capacity(self) -> float:
         raise NotImplementedError
@@ -208,7 +236,7 @@ class MarkovLink(_LazyEpochLink):
         switch_probability: float = 0.05,
         jitter_sigma: float = 0.02,
         epoch: float = 1.0,
-        seed: int = 0,
+        seed: "int | tuple" = 0,
     ) -> None:
         super().__init__(epoch, seed)
         if not states_bps:
@@ -272,7 +300,7 @@ class HeavyTailLink(_LazyEpochLink):
         fade_floor_sigma: float = 0.8,
         fade_onset_epochs: int = 3,
         epoch: float = 1.0,
-        seed: int = 0,
+        seed: "int | tuple" = 0,
     ) -> None:
         super().__init__(epoch, seed)
         if base_bps <= 0:

@@ -6,18 +6,36 @@ transmitted over the TCP model, the playback buffer drains at 1 s/s while
 data is in flight, stalls accrue when it empties, and the server pauses when
 the 15-second buffer cap is reached. Telemetry is emitted in the open-data
 format.
+
+The loop itself lives in :func:`stream_machine`, a coroutine-style generator
+that *yields* a :class:`TransmitRequest` whenever a chunk must cross the
+network and receives the :class:`~repro.net.tcp.TransmissionResult` back.
+``simulate_stream`` drives the machine against a private
+:class:`~repro.net.tcp.TcpConnection` (the classic single-session path,
+bit-identical to the pre-generator implementation); :mod:`repro.edge`
+drives many machines at once against a shared bottleneck, interleaving
+their transmissions in cell time.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Generator,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+)
 
 from repro import obs
 from repro.abr.base import AbrAlgorithm, AbrContext, ChunkRecord
 from repro.media.chunk import ChunkMenu
 from repro.media.ssim import ssim_db_to_index
-from repro.net.tcp import TcpConnection
+from repro.net.tcp import TcpConnection, TcpInfo, TransmissionResult
 from repro.streaming.buffer import MAX_BUFFER_S, PlaybackBuffer
 from repro.streaming.session import StreamResult
 from repro.streaming.telemetry import (
@@ -27,6 +45,37 @@ from repro.streaming.telemetry import (
     VideoAckedRecord,
     VideoSentRecord,
 )
+
+
+class Transport(Protocol):
+    """What a stream machine needs from its network besides transmission:
+    synchronous, read-only sender statistics (the ABR's ``tcp_info`` view).
+    Satisfied by :class:`~repro.net.tcp.TcpConnection` and by
+    :class:`repro.edge.transport.FluidFlow`."""
+
+    def tcp_info(self) -> TcpInfo: ...
+
+
+@dataclass(frozen=True)
+class TransmitRequest:
+    """One chunk the stream wants on the wire.
+
+    Yielded by :func:`stream_machine`; the driver answers with the
+    :class:`~repro.net.tcp.TransmissionResult`.  ``send_at`` is in the
+    *connection's* clock (session-relative) — a shared-bottleneck driver
+    adds the session's arrival offset to place it in cell time.  The cache
+    identity fields let an edge tier recognise the chunk; a private-link
+    driver ignores them.
+    """
+
+    size_bytes: int
+    send_at: float
+    chunk_index: int = 0
+    rung: int = 0
+    channel: Optional[str] = None
+
+
+StreamMachine = Generator[TransmitRequest, TransmissionResult, StreamResult]
 
 DEFAULT_LOOKAHEAD = 8
 """Menus visible ahead of the playhead (live encoding runs a few chunks
@@ -83,7 +132,13 @@ def simulate_stream(
     start_time: float = 0.0,
     buffer_report_interval: Optional[float] = None,
 ) -> StreamResult:
-    """Simulate one stream and return its :class:`StreamResult`.
+    """Simulate one stream over a private connection and return its
+    :class:`StreamResult`.
+
+    Thin driver over :func:`stream_machine`: every yielded
+    :class:`TransmitRequest` is answered immediately by
+    ``connection.transmit`` — the exact call sequence of the pre-generator
+    implementation, so results are bit-identical to it.
 
     Parameters
     ----------
@@ -108,6 +163,56 @@ def simulate_stream(
         TIMER records at this interval. Reported buffer levels are the
         state when the boundary is processed (end of the enclosing event),
         matching how a client-side timer observes the player.
+    """
+    machine = stream_machine(
+        menus,
+        abr,
+        connection,
+        watch_time_s,
+        stream_id=stream_id,
+        expt_id=expt_id,
+        max_buffer_s=max_buffer_s,
+        lookahead=lookahead,
+        telemetry=telemetry,
+        extension_hook=extension_hook,
+        start_time=start_time,
+        buffer_report_interval=buffer_report_interval,
+    )
+    response: Optional[TransmissionResult] = None
+    while True:
+        try:
+            request = machine.send(response)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            result: StreamResult = stop.value
+            return result
+        response = connection.transmit(request.size_bytes, request.send_at)
+
+
+def stream_machine(
+    menus: Iterable[ChunkMenu],
+    abr: AbrAlgorithm,
+    transport: Transport,
+    watch_time_s: float,
+    stream_id: int = 0,
+    expt_id: int = 0,
+    max_buffer_s: float = MAX_BUFFER_S,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    telemetry: Optional[TelemetryLog] = None,
+    extension_hook: Optional[ExtensionHook] = None,
+    start_time: float = 0.0,
+    buffer_report_interval: Optional[float] = None,
+    channel_name: Optional[str] = None,
+) -> StreamMachine:
+    """The streaming loop as a resumable generator.
+
+    Identical in logic to the historical ``simulate_stream`` body; the one
+    structural difference is that chunk transmission happens by yielding a
+    :class:`TransmitRequest` and receiving the
+    :class:`~repro.net.tcp.TransmissionResult` from whoever drives the
+    generator.  ``transport`` supplies the synchronous ``tcp_info()`` reads
+    the ABR consumes; ``channel_name`` tags requests with a cache identity
+    for edge drivers.  Returns the :class:`StreamResult` via
+    ``StopIteration.value``.
     """
     if watch_time_s < 0:
         raise ValueError("watch time must be non-negative")
@@ -187,7 +292,7 @@ def simulate_stream(
         context = AbrContext(
             lookahead=window.peek(),
             buffer_s=buffer.level_s,
-            tcp_info=connection.tcp_info(),
+            tcp_info=transport.tcp_info(),
             history=result.records,
             last_ssim_db=last_ssim,
             startup=not playing,
@@ -200,7 +305,13 @@ def simulate_stream(
             )
         version = menu[rung]
         send_at = start_time + t
-        tx = connection.transmit(version.size_bytes, send_at)
+        tx = yield TransmitRequest(
+            size_bytes=version.size_bytes,
+            send_at=send_at,
+            chunk_index=menu.chunk_index,
+            rung=rung,
+            channel=channel_name,
+        )
         if obs.ENABLED:
             # Chunk timing: the distribution the TTP is trained to predict.
             obs.counter_inc("stream.chunks_sent")

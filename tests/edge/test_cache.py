@@ -1,0 +1,78 @@
+"""LRU semantics of the per-cell edge cache."""
+
+import pytest
+
+from repro.edge.cache import EdgeCache
+
+
+def _key(i, rung=0):
+    return ("ch", i, rung)
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = EdgeCache(4)
+        assert not cache.lookup(_key(1))
+        cache.insert(_key(1))
+        assert cache.lookup(_key(1))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_ratio == 0.5
+
+    def test_lookup_does_not_admit(self):
+        cache = EdgeCache(4)
+        cache.lookup(_key(1))
+        assert _key(1) not in cache
+        assert len(cache) == 0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = EdgeCache(2)
+        cache.insert(_key(1))
+        cache.insert(_key(2))
+        cache.lookup(_key(1))  # refresh 1; 2 becomes LRU
+        cache.insert(_key(3))
+        assert _key(1) in cache
+        assert _key(2) not in cache
+        assert _key(3) in cache
+
+    def test_insert_refreshes_recency(self):
+        cache = EdgeCache(2)
+        cache.insert(_key(1))
+        cache.insert(_key(2))
+        cache.insert(_key(1))  # re-admit refreshes, does not duplicate
+        assert len(cache) == 2
+        cache.insert(_key(3))
+        assert _key(2) not in cache
+        assert _key(1) in cache
+
+    def test_rungs_are_distinct_objects(self):
+        cache = EdgeCache(4)
+        cache.insert(_key(1, rung=0))
+        assert not cache.lookup(_key(1, rung=1))
+
+    def test_zero_capacity_disables(self):
+        cache = EdgeCache(0)
+        cache.insert(_key(1))
+        assert not cache.lookup(_key(1))
+        assert len(cache) == 0
+        assert cache.hit_ratio == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeCache(-1)
+
+    def test_replay_reaches_identical_state(self):
+        """The resume contract: cache state is a pure function of the
+        lookup/insert sequence."""
+        ops = [("l", 1), ("i", 1), ("l", 2), ("i", 2), ("l", 1),
+               ("i", 3), ("l", 3), ("l", 2), ("i", 4), ("l", 4)]
+
+        def replay():
+            cache = EdgeCache(3)
+            for op, i in ops:
+                if op == "l":
+                    cache.lookup(_key(i))
+                else:
+                    cache.insert(_key(i))
+            return list(cache._entries), cache.hits, cache.misses
+
+        assert replay() == replay()

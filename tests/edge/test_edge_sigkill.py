@@ -1,0 +1,101 @@
+"""A real ``kill -9`` delivered to a cell-mode fleet run mid-flight, then
+a CLI resume at a different worker count, must reproduce the uninterrupted
+run's metrics dump byte for byte.
+
+The kill trigger is state-based: the victim's checkpoint is polled until
+at least one commit has landed (``next_session_id > 0`` and not
+completed), so the signal arrives mid-run on fast and slow machines alike.
+Cell mode makes this stricter than the classic fleet variant: the resume
+point must land on a cell boundary and the edge-tier tallies in
+``extra["edge"]`` must be restored consistently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+@pytest.mark.parallel_smoke
+class TestEdgeSigkillResume:
+    CLI = [
+        "fleet", "run",
+        "--days", "0.03", "--rate", "70", "--seed", "7",
+        "--trial-seed", "3", "--chunk-size", "4",
+        "--cells", "3", "--edge-seed", "11",
+    ]
+
+    def _env(self):
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def _run_cli(self, args, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd, env=self._env(), capture_output=True, text=True,
+        )
+
+    def test_sigkill_mid_run_then_resume(self, tmp_path):
+        # Reference: one uninterrupted CLI run.
+        ref_dump = tmp_path / "ref.json"
+        completed = self._run_cli(
+            self.CLI + ["--out", str(ref_dump)], cwd=str(tmp_path)
+        )
+        assert completed.returncode == 0, completed.stderr
+
+        # Victim: same run with a checkpoint, killed without warning after
+        # the first durable commit.
+        ckpt = str(tmp_path / "ckpt.json")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", *self.CLI,
+             "--checkpoint", ckpt, "--workers", "2"],
+            cwd=str(tmp_path), env=self._env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.time() + 60.0
+        committed = 0
+        while time.time() < deadline:
+            if process.poll() is not None:
+                break
+            try:
+                with open(ckpt) as f:
+                    snapshot = json.load(f)
+            except (FileNotFoundError, ValueError):
+                snapshot = None
+            if snapshot is not None:
+                committed = snapshot["next_session_id"]
+                if committed > 0 and not snapshot["completed"]:
+                    break
+            time.sleep(0.02)
+        process.kill()
+        process.wait(timeout=30)
+        assert os.path.exists(ckpt), "killed before any checkpoint"
+        assert committed > 0, "run finished before the kill could land"
+
+        checkpoint = json.loads(open(ckpt).read())
+        assert not checkpoint["completed"]
+        # Cell mode persists its tier tallies with the checkpoint.
+        assert "edge" in checkpoint["extra"]
+
+        # Resume via the CLI (configuration round-trips through the
+        # checkpoint's stored cli_args) at a different worker count.
+        victim_dump = tmp_path / "victim.json"
+        resumed = self._run_cli(
+            ["fleet", "resume", "--checkpoint", ckpt, "--workers", "3",
+             "--out", str(victim_dump)],
+            cwd=str(tmp_path),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert victim_dump.read_bytes() == ref_dump.read_bytes()
+
+        # The resumed run's edge tallies match a straight run's.
+        final = json.loads(open(ckpt).read())
+        assert final["completed"]
+        stats = final["extra"]["edge"]
+        assert stats["cells"] > 0
+        assert stats["cache_hits"] + stats["cache_misses"] > 0

@@ -1,0 +1,91 @@
+"""Shape and seed-lineage tests for the Zipf channel-popularity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.edge.zipf import ZipfChannelPopularity, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        w = zipf_weights(10, 1.1)
+        assert w.shape == (10,)
+        assert np.isclose(w.sum(), 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exact_power_law_ratios(self):
+        w = zipf_weights(5, 1.0)
+        # w_r ∝ 1/r: the hottest rank carries r times the weight of rank r.
+        for r in range(1, 6):
+            assert np.isclose(w[0] / w[r - 1], float(r))
+
+    def test_alpha_zero_is_uniform(self):
+        assert np.allclose(zipf_weights(7, 0.0), np.full(7, 1 / 7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.1)
+
+
+class TestPopularityLineage:
+    def test_permutation_is_pure_in_seed_and_cell(self):
+        a = ZipfChannelPopularity(8, 1.1, seed=3, cell_id=5)
+        b = ZipfChannelPopularity(8, 1.1, seed=3, cell_id=5)
+        assert np.array_equal(a.weights, b.weights)
+        assert a.hottest() == b.hottest()
+
+    def test_cells_get_distinct_local_taste(self):
+        tastes = {
+            ZipfChannelPopularity(32, 1.1, seed=3, cell_id=c).hottest()
+            for c in range(16)
+        }
+        assert len(tastes) > 1
+
+    def test_seed_changes_permutation(self):
+        a = ZipfChannelPopularity(32, 1.1, seed=0, cell_id=0)
+        b = ZipfChannelPopularity(32, 1.1, seed=1, cell_id=0)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_weights_are_zipf_over_the_permutation(self):
+        pop = ZipfChannelPopularity(12, 0.9, seed=7, cell_id=2)
+        by_rank = zipf_weights(12, 0.9)
+        for channel in range(12):
+            assert pop.weight(channel) == by_rank[pop.rank_of(channel)]
+        assert pop.rank_of(pop.hottest()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfChannelPopularity(4, 1.0, seed=0, cell_id=-1)
+
+
+class TestSampling:
+    def test_sample_consumes_exactly_one_uniform(self):
+        """The engine's determinism contract: a chooser draw costs one
+        uniform from the session's own stream, no more, no less."""
+        pop = ZipfChannelPopularity(6, 1.1, seed=0, cell_id=0)
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        pop.sample(rng_a)
+        rng_b.random()
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_sample_matches_inverse_cdf(self):
+        pop = ZipfChannelPopularity(6, 1.1, seed=0, cell_id=0)
+        draws = [pop.sample(np.random.default_rng(s)) for s in range(200)]
+        many = [
+            int(pop.sample_many(np.random.default_rng(s), 1)[0])
+            for s in range(200)
+        ]
+        assert draws == many
+        assert set(draws) <= set(range(6))
+
+    def test_empirical_frequencies_track_weights(self):
+        pop = ZipfChannelPopularity(5, 1.2, seed=9, cell_id=1)
+        rng = np.random.default_rng(123)
+        samples = pop.sample_many(rng, 20000)
+        freq = np.bincount(samples, minlength=5) / len(samples)
+        assert np.allclose(freq, pop.weights, atol=0.02)
+        # The hottest channel is sampled most often.
+        assert int(np.argmax(freq)) == pop.hottest()

@@ -87,6 +87,54 @@ class TestIntensity:
         for hour in range(0, 24):
             assert config.rate_per_hour(hour * SECONDS_PER_HOUR) <= bound
 
+    def test_peak_rate_exact_for_disjoint_crowds(self):
+        """Regression: disjoint crowds must not multiply together — the
+        envelope is the max *simultaneously active* product, so thinning
+        acceptance does not degrade with every extra (non-overlapping)
+        event on the calendar."""
+        config = WorkloadConfig(
+            diurnal_amplitude=0.5,
+            flash_crowds=(
+                FlashCrowd(start_day=0.1, duration_hours=2.0, multiplier=3.0),
+                FlashCrowd(start_day=0.5, duration_hours=2.0, multiplier=4.0),
+            ),
+        )
+        base_peak = config.sessions_per_hour * 1.5
+        assert config.peak_rate_per_hour() == pytest.approx(4.0 * base_peak)
+
+    def test_peak_rate_exact_for_overlapping_crowds(self):
+        """Two overlapping crowds compound only where both are active; a
+        third disjoint one never joins the product."""
+        config = WorkloadConfig(
+            diurnal_amplitude=0.0,
+            flash_crowds=(
+                FlashCrowd(start_day=0.1, duration_hours=6.0, multiplier=2.0),
+                FlashCrowd(start_day=0.2, duration_hours=6.0, multiplier=3.0),
+                FlashCrowd(start_day=0.9, duration_hours=1.0, multiplier=5.0),
+            ),
+        )
+        assert config.peak_rate_per_hour() == pytest.approx(
+            6.0 * config.sessions_per_hour
+        )
+        # Still a true envelope over a fine sweep of the horizon.
+        bound = config.peak_rate_per_hour()
+        for i in range(0, 24 * 60, 7):
+            assert config.rate_per_hour(i * 60.0) <= bound + 1e-9
+
+    def test_peak_rate_without_crowds_unchanged(self):
+        config = WorkloadConfig(diurnal_amplitude=0.25, sessions_per_hour=80.0)
+        assert config.peak_rate_per_hour() == pytest.approx(80.0 * 1.25)
+
+    def test_single_crowd_arrivals_unchanged_by_exact_envelope(self):
+        """With one crowd the exact envelope equals the old product bound,
+        so existing single-crowd arrival sequences are untouched."""
+        crowd = FlashCrowd(start_day=0.25, duration_hours=6.0, multiplier=5.0)
+        config = WorkloadConfig(
+            days=1.0, sessions_per_hour=60.0, diurnal_amplitude=0.0,
+            flash_crowds=(crowd,), seed=2,
+        )
+        assert config.peak_rate_per_hour() == pytest.approx(60.0 * 5.0)
+
     def test_expected_sessions_matches_mean_rate(self):
         # With zero amplitude the intensity is flat: expectation is exact.
         config = WorkloadConfig(
