@@ -34,6 +34,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
+
+from repro.atomio import atomic_write_text
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -131,8 +134,7 @@ def _cmd_train_fugu(args: argparse.Namespace) -> int:
             workers=args.workers,
         )
     )
-    with open(args.output, "w") as f:
-        json.dump(predictor.state_dict(), f)
+    atomic_write_text(args.output, json.dumps(predictor.state_dict()))
     print(f"saved trained TTP to {args.output}")
     return 0
 
@@ -200,6 +202,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_crash_matrix(args: argparse.Namespace) -> int:
+    """Enumerate every crash point of a mini fleet run and prove recovery.
+
+    Dynamic counterpart of ``repro lint --whole-program --durability``:
+    the static DUR rules claim every durable write is crash-safe; this
+    harness kills a real run at each registered crash point, resumes
+    from the survivor state, and byte-compares the durable outputs
+    against an uninterrupted reference run.
+    """
+    import tempfile
+
+    from repro.crashpoints import (
+        CrashMatrixError,
+        format_report,
+        run_crash_matrix,
+    )
+
+    modes = ["retrain", "edge", "run"] if args.mode == "all" else [args.mode]
+    points = None
+    if args.points:
+        points = [int(part) for part in args.points.split(",") if part.strip()]
+    failed = False
+    for mode in modes:
+        if args.workdir is not None:
+            workdir = Path(args.workdir) / mode
+        else:
+            workdir = Path(tempfile.mkdtemp(prefix=f"crash-matrix-{mode}-"))
+        try:
+            report = run_crash_matrix(
+                workdir,
+                mode=mode,
+                days=args.days,
+                rate=args.rate,
+                chunk_size=args.chunk_size,
+                points=points,
+                progress=lambda message: print(message, file=sys.stderr),
+            )
+        except CrashMatrixError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_report(report))
+        failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def _cmd_sanitize_run(args: argparse.Namespace) -> int:
@@ -937,6 +984,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (the digest is identical at any count)",
     )
     sanitize.set_defaults(func=_cmd_sanitize_run)
+
+    matrix = sub.add_parser(
+        "crash-matrix",
+        help="kill a mini fleet run at every crash point and prove recovery",
+        description=(
+            "Dynamic counterpart of `repro lint --whole-program "
+            "--durability`: runs a reference mini fleet, enumerates every "
+            "registered crash point, then for each point kills a fresh run "
+            "exactly there, resumes from the survivor state, and "
+            "byte-compares dump/registry/archive against the reference."
+        ),
+    )
+    matrix.add_argument(
+        "--mode",
+        choices=["retrain", "edge", "run", "all"],
+        default="retrain",
+        help="fleet scenario to enumerate (default: retrain)",
+    )
+    matrix.add_argument(
+        "--days", type=float, default=1.15,
+        help="simulated fleet days per run (default: 1.15)",
+    )
+    matrix.add_argument(
+        "--rate", type=float, default=3.0,
+        help="session arrival rate per day (default: 3.0)",
+    )
+    matrix.add_argument(
+        "--chunk-size", type=int, default=16,
+        help="sessions per checkpointed chunk (default: 16)",
+    )
+    matrix.add_argument(
+        "--points", default=None, metavar="N,N,...",
+        help="comma-separated crash-point indices (default: all)",
+    )
+    matrix.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep run artifacts under DIR/<mode> (default: temp dir)",
+    )
+    matrix.set_defaults(func=_cmd_crash_matrix)
     return parser
 
 

@@ -1,0 +1,93 @@
+"""repro.atomio — the blessed crash-safe file-write helper.
+
+One implementation of the full atomic-publish protocol — tmp file in
+the same directory, write, flush, ``fsync`` the file, ``os.replace``
+over the target, ``fsync`` the parent directory — replacing the three
+hand-rolled copies that previously lived in ``fleet/checkpoint.py``,
+``fleet/retrain.py`` and ``lint/cache.py`` (the last of which skipped
+the fsyncs entirely).
+
+Every durable writer in the tree (fleet checkpoint, model registry
+generation + manifest, metrics dump, archive day tables, trained-model
+output) routes through here, and the whole-program linter enforces
+exactly that: ``repro lint --whole-program --durability`` flags any raw
+write reachable from the durable roots declared in ``durable-roots.json``
+(rule DUR001), and this module's two public functions are the only
+writers that file blesses.
+
+Crash points: each ``durable=True`` write passes three numbered
+:func:`repro.crashpoints.crashpoint` markers — ``begin`` (nothing
+written), ``pre-rename`` (tmp durable, target untouched) and
+``post-rename`` (new content durable) — so the ``repro crash-matrix``
+harness can kill a fleet run inside every window of the protocol and
+prove recovery is byte-identical.  Labels use the target's basename
+only, keeping the point sequence deterministic across run directories.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.crashpoints import crashpoint
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a just-completed rename durable (sync the directory entry)."""
+    try:
+        dir_fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, durable: bool = True
+) -> None:
+    """Atomically publish *data* at *path*: readers see old or new, never torn.
+
+    With ``durable=True`` (the default) the new content also survives
+    power loss the moment this returns: the tmp file is fsynced before
+    the rename and the parent directory after it.  ``durable=False``
+    keeps the atomicity (tmp + rename) but skips both fsyncs and the
+    crash points — for best-effort artifacts like the lint findings
+    cache where losing a write on power cut is acceptable and the sync
+    cost is not.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target)
+    # Pid-suffixed tmp name: concurrent writers (pool workers, parallel
+    # lint invocations) never collide, and a crash-orphaned tmp never
+    # shadows the real artifact globs (*.json, *.csv).
+    tmp_path = f"{target}.tmp.{os.getpid()}"
+    name = os.path.basename(target)
+    if durable:
+        crashpoint(f"atomio.begin:{name}")
+    with open(tmp_path, "wb") as f:
+        f.write(data)
+        if durable:
+            f.flush()
+            os.fsync(f.fileno())
+    if durable:
+        crashpoint(f"atomio.pre-rename:{name}")
+    os.replace(tmp_path, target)
+    if durable:
+        _fsync_directory(directory)
+        crashpoint(f"atomio.post-rename:{name}")
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> None:
+    """:func:`atomic_write_bytes` for text (encoded, no newline translation)."""
+    atomic_write_bytes(path, text.encode(encoding), durable=durable)

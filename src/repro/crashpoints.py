@@ -1,0 +1,648 @@
+"""repro.crashpoints — numbered crash points and power-loss emulation.
+
+The runtime half of the crash-consistency contract.  The static half is
+the ``repro.lint`` durability analysis (rules DUR001-DUR004 over the
+write-effect pass in ``repro.lint.effects``); this module provides the
+dynamic cross-check that every statically enforced invariant actually
+matters — mirroring the lint<->golden, purity<->sanitizer and seed
+rules<->seed registry pairings of earlier milestones.
+
+Three layers:
+
+1. **Crash-point runtime.**  Code on durable commit paths (the
+   ``repro.atomio`` helper, the registry and checkpoint commit
+   boundaries) calls :func:`crashpoint` with a stable label.  With
+   ``REPRO_CRASHPOINT=n`` in the environment the process aborts — hard,
+   via ``os._exit`` so no ``finally``/``atexit`` cleanup can tidy up —
+   at the *n*-th point it passes, with exit status
+   :data:`CRASH_EXIT_CODE`.  With ``REPRO_CRASHPOINT_LOG=file`` every
+   point passed appends ``"<n> <label>"`` to *file*; a reference run
+   with only the log variable set therefore enumerates the full,
+   deterministic crash-point sequence.  With neither variable set the
+   call is a cheap no-op.
+
+2. **:class:`PowerLossSimulator`.**  ALICE-style crash-state
+   enumeration for in-process scenarios (the lint fixture cross-check
+   in ``tests/lint/test_durability_crosscheck.py``).  It patches
+   ``open``/``os.replace``/``os.rename``/``os.fsync`` under a sandbox
+   root, journals every durability-relevant operation while letting it
+   through, then computes — for every operation prefix — the worst-case
+   state a power cut leaves on disk under the standard crash model
+   (metadata operations such as create, truncate-on-open and rename
+   persist; file *contents* persist only up to the last explicit
+   fsync), and materializes that survivor tree for inspection.
+
+3. **:func:`run_crash_matrix`.**  The subprocess harness behind
+   ``repro crash-matrix``: a reference fleet run enumerates the crash
+   points, then for each point a fresh run is killed exactly there,
+   resumed from whatever survived, and its metrics dump / model
+   registry / telemetry archive byte-compared against the uninterrupted
+   reference.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import os
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+ENV_CRASHPOINT = "REPRO_CRASHPOINT"
+ENV_CRASHPOINT_LOG = "REPRO_CRASHPOINT_LOG"
+
+CRASH_EXIT_CODE = 86
+"""Exit status of a process deliberately aborted at a crash point."""
+
+
+# ---------------------------------------------------------------------------
+# Crash-point runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CrashpointState:
+    target: Optional[int]
+    log_path: Optional[str]
+    hits: int = 0
+
+
+_STATE: Optional[_CrashpointState] = None
+
+
+def _abort(code: int) -> None:  # pragma: no cover - replaced in unit tests
+    # os._exit, not sys.exit: a real power cut runs no finally blocks.
+    os._exit(code)
+
+
+def _state() -> _CrashpointState:
+    global _STATE
+    if _STATE is None:
+        raw = os.environ.get(ENV_CRASHPOINT, "").strip()
+        target: Optional[int] = None
+        if raw:
+            try:
+                target = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_CRASHPOINT} must be an integer, got {raw!r}"
+                ) from None
+            if target < 1:
+                raise ValueError(
+                    f"{ENV_CRASHPOINT} must be >= 1, got {target}"
+                )
+        log_path = os.environ.get(ENV_CRASHPOINT_LOG, "").strip() or None
+        # fmt: off
+        _STATE = _CrashpointState(target=target, log_path=log_path)  # repro: allow-PURE001(crash-point arming is a process-global latch, fixed at first use; disarmed it never perturbs a session)
+        # fmt: on
+    return _STATE
+
+
+def configure(
+    target: Optional[int] = None, log_path: Optional[str] = None
+) -> None:
+    """Arm the crash-point runtime explicitly (tests; overrides the env)."""
+    global _STATE
+    _STATE = _CrashpointState(target=target, log_path=log_path)
+
+
+def reset() -> None:
+    """Drop armed state; the next :func:`crashpoint` re-reads the env."""
+    global _STATE
+    _STATE = None
+
+
+def hits() -> int:
+    """Crash points passed so far in this process (0 when disarmed)."""
+    return 0 if _STATE is None else _STATE.hits
+
+
+def crashpoint(label: str) -> None:
+    """Pass one numbered crash point on a durable commit path.
+
+    *label* must be deterministic across runs of the same configuration
+    (use file basenames, never absolute paths or pids), because the
+    crash matrix replays a run by point *number* and cross-checks the
+    label sequence.
+    """
+    state = _state()
+    if state.target is None and state.log_path is None:
+        return
+    state.hits += 1
+    if state.log_path is not None:
+        # Plain append: the log is diagnostic output of the harness
+        # itself, not a durable artifact of the system under test.
+        with open(state.log_path, "a", encoding="utf-8") as f:
+            f.write(f"{state.hits} {label}\n")
+    if state.target is not None and state.hits == state.target:
+        _abort(CRASH_EXIT_CODE)
+
+
+# ---------------------------------------------------------------------------
+# Power-loss simulation (in-process crash-state enumeration)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalOp:
+    """One durability-relevant filesystem operation under the sandbox.
+
+    ``kind`` is ``"open"`` (for write/append/update — ``mode`` holds the
+    mode string), ``"fsync"`` (``content`` holds the on-disk bytes at
+    sync time) or ``"replace"`` (``dest`` holds the destination, or
+    ``None`` when the file left the sandbox).  Paths are root-relative
+    POSIX strings.
+    """
+
+    kind: str
+    path: str
+    mode: str = ""
+    content: Optional[bytes] = None
+    dest: Optional[str] = None
+
+
+class PowerLossSimulator:
+    """Journal filesystem mutations under *root* and enumerate crash states.
+
+    Use as a context manager around a scenario that writes beneath
+    *root*; afterwards :meth:`crash_states` yields, for every prefix of
+    the journal, the worst-case tree a power cut at that instant leaves
+    behind, and :meth:`materialize` writes that tree out so arbitrary
+    consistency predicates can run against it.
+
+    Crash model (ALICE's default, which matches ext4-ordered and every
+    journaled filesystem the archive targets): directory metadata —
+    creation, truncation-on-open, rename — reaches the disk immediately;
+    file *data* reaches the disk only up to the last explicit
+    ``os.fsync`` of that file.  Directory fsync is deliberately modeled
+    as a no-op (renames always persist here), so a missing directory
+    fsync is a *static-only* finding (DUR002's second clause).
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root).resolve()
+        self.journal: List[JournalOp] = []
+        self._initial: Dict[str, bytes] = {}
+        self._fd_paths: Dict[int, str] = {}
+        self._real_open = builtins.open
+        self._real_io_open = io.open
+        self._real_replace = os.replace
+        self._real_rename = os.rename
+        self._real_fsync = os.fsync
+
+    # -- patching ----------------------------------------------------------
+
+    def __enter__(self) -> "PowerLossSimulator":
+        self._snapshot_initial()
+        builtins.open = self._patched_open  # type: ignore[assignment]
+        io.open = self._patched_open  # type: ignore[assignment]
+        os.replace = self._patched_replace  # type: ignore[assignment]
+        os.rename = self._patched_rename  # type: ignore[assignment]
+        os.fsync = self._patched_fsync
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        builtins.open = self._real_open
+        io.open = self._real_io_open  # type: ignore[assignment]
+        os.replace = self._real_replace
+        os.rename = self._real_rename
+        os.fsync = self._real_fsync
+
+    def _snapshot_initial(self) -> None:
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file():
+                rel = path.relative_to(self.root).as_posix()
+                self._initial[rel] = path.read_bytes()
+
+    def _relative(self, target: Any) -> Optional[str]:
+        try:
+            path = Path(os.fspath(target))
+        except TypeError:
+            return None  # fd-based open and friends: out of scope
+        if not path.is_absolute():
+            path = Path.cwd() / path
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+
+    def _patched_open(self, file: Any, *args: Any, **kwargs: Any) -> Any:
+        mode = str(kwargs.get("mode") or (args[0] if args else "r"))
+        rel = self._relative(file)
+        if rel is not None and any(c in mode for c in "wax+"):
+            self.journal.append(JournalOp("open", rel, mode=mode))
+        handle = self._real_open(file, *args, **kwargs)
+        if rel is not None:
+            try:
+                self._fd_paths[int(handle.fileno())] = rel
+            except (OSError, AttributeError, io.UnsupportedOperation):
+                pass
+        return handle
+
+    def _patched_replace(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        rel_src = self._relative(src)
+        rel_dst = self._relative(dst)
+        if rel_src is not None:
+            self.journal.append(JournalOp("replace", rel_src, dest=rel_dst))
+        self._real_replace(src, dst, **kwargs)
+
+    def _patched_rename(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        rel_src = self._relative(src)
+        rel_dst = self._relative(dst)
+        if rel_src is not None:
+            self.journal.append(JournalOp("replace", rel_src, dest=rel_dst))
+        self._real_rename(src, dst, **kwargs)
+
+    def _patched_fsync(self, fd: int) -> None:
+        self._real_fsync(fd)
+        rel = self._fd_paths.get(fd)
+        if rel is None:
+            return
+        target = self.root / rel
+        # Guard against fd-number reuse (e.g. a directory fd from
+        # os.open landing on the number of a since-renamed tmp file):
+        # only journal a data sync for a path that still exists.
+        if not target.exists():
+            return
+        self.journal.append(JournalOp("fsync", rel, content=target.read_bytes()))
+
+    # -- crash-state enumeration -------------------------------------------
+
+    def n_states(self) -> int:
+        return len(self.journal) + 1
+
+    def durable_state(self, prefix: int) -> Dict[str, Optional[bytes]]:
+        """Worst-case surviving tree after a cut at journal index *prefix*.
+
+        Maps root-relative path to surviving bytes, or ``None`` for a
+        file the crash state does not contain.
+        """
+        state: Dict[str, Optional[bytes]] = dict(self._initial)
+        for op in self.journal[:prefix]:
+            if op.kind == "open":
+                if any(c in op.mode for c in "wx"):
+                    # Truncate/create metadata persists; new data does not.
+                    state[op.path] = b""
+                elif state.get(op.path) is None:
+                    # Created by an append/update open.
+                    state[op.path] = b""
+            elif op.kind == "fsync":
+                state[op.path] = op.content
+            elif op.kind == "replace":
+                moved = state.get(op.path)
+                state[op.path] = None
+                if op.dest is not None:
+                    state[op.dest] = moved if moved is not None else b""
+        return state
+
+    def crash_states(
+        self,
+    ) -> Iterator[Tuple[int, Dict[str, Optional[bytes]]]]:
+        for prefix in range(self.n_states()):
+            yield prefix, self.durable_state(prefix)
+
+    def materialize(
+        self, state: Dict[str, Optional[bytes]], dest: Path
+    ) -> Path:
+        """Write a crash state out as a real directory tree."""
+        dest = Path(dest)
+        if dest.exists():
+            shutil.rmtree(dest)
+        dest.mkdir(parents=True)
+        for rel, content in sorted(state.items()):
+            if content is None:
+                continue
+            target = dest / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(content)
+        return dest
+
+
+def find_torn_state(
+    base_dir: Path,
+    setup: Optional[Callable[[Path], None]],
+    scenario: Callable[[Path], None],
+    consistent: Callable[[Path], bool],
+) -> Optional[int]:
+    """Search every crash state of *scenario* for one *consistent* rejects.
+
+    Runs *setup* (optional) and then *scenario* once against
+    ``base_dir/live`` under the simulator, then materializes each crash
+    prefix and applies *consistent* to the survivor tree.  Returns the
+    first inconsistent prefix index — the counterexample a bad fixture
+    must have — or ``None`` when every crash state passes, the property
+    every good fixture must have.
+    """
+    base = Path(base_dir)
+    work = base / "live"
+    work.mkdir(parents=True, exist_ok=True)
+    if setup is not None:
+        setup(work)
+    sim = PowerLossSimulator(work)
+    with sim:
+        scenario(work)
+    for prefix, state in sim.crash_states():
+        survivor = sim.materialize(state, base / f"crash-{prefix:03d}")
+        if not consistent(survivor):
+            return prefix
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Crash matrix (subprocess kill/resume/compare harness)
+# ---------------------------------------------------------------------------
+
+
+class CrashMatrixError(RuntimeError):
+    """The harness itself failed (reference run, bad point index, ...)."""
+
+
+@dataclass
+class CrashPointOutcome:
+    """Kill/resume/compare result for one enumerated crash point."""
+
+    index: int
+    label: str
+    crashed: bool
+    resumed: bool
+    identical: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and self.resumed and self.identical
+
+
+@dataclass
+class CrashMatrixReport:
+    mode: str
+    labels: List[str]
+    outcomes: List[CrashPointOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.labels) and all(o.ok for o in self.outcomes)
+
+
+_ARCHIVE_TABLES = ("video_sent.csv", "video_acked.csv", "client_buffer.csv")
+
+
+def _fleet_args(
+    mode: str, base: Path, days: float, rate: float, chunk_size: int
+) -> List[str]:
+    """CLI argv (after ``python -m repro``) for one matrix fleet run."""
+    args = [
+        "fleet",
+        "retrain" if mode == "retrain" else "run",
+        "--days", str(days),
+        "--rate", str(rate),
+        "--seed", "5",
+        "--trial-seed", "11",
+        "--chunk-size", str(chunk_size),
+        "--checkpoint", str(base / "fleet.ckpt"),
+        "--out", str(base / "dump.json"),
+    ]
+    if mode == "retrain":
+        args += [
+            "--archive-dir", str(base / "archive"),
+            "--registry", str(base / "registry"),
+            "--window-days", "3",
+            "--recency-decay", "0.9",
+            "--epochs-per-day", "1",
+            "--ttp-horizon", "2",
+        ]
+    elif mode == "edge":
+        args += ["--cells", "3", "--edge-seed", "11"]
+    elif mode == "run":
+        args += ["--archive-dir", str(base / "archive")]
+    else:
+        raise CrashMatrixError(f"unknown crash-matrix mode: {mode!r}")
+    return args
+
+
+def _subprocess_env(extra: Dict[str, str]) -> Dict[str, str]:
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    env.pop(ENV_CRASHPOINT, None)
+    env.pop(ENV_CRASHPOINT_LOG, None)
+    env.update(extra)
+    return env
+
+
+def _run_cli(
+    cli_args: Sequence[str], env: Dict[str, str], python: str
+) -> "subprocess.CompletedProcess[bytes]":
+    return subprocess.run(
+        [python, "-m", "repro", *cli_args], env=env, capture_output=True
+    )
+
+
+def _parse_point_log(path: Path) -> List[str]:
+    labels: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        index_text, _, label = line.partition(" ")
+        if int(index_text) != len(labels) + 1:
+            raise CrashMatrixError(
+                f"crash-point log out of order at line {line!r}"
+            )
+        labels.append(label)
+    return labels
+
+
+def _stderr_tail(proc: "subprocess.CompletedProcess[bytes]") -> str:
+    return proc.stderr.decode("utf-8", errors="replace")[-2000:]
+
+
+def _compare_artifacts(
+    mode: str, ref: Path, victim_dump: Path, victim: Path
+) -> Optional[str]:
+    """Byte-compare resumed artifacts against the reference run.
+
+    The checkpoint file itself is deliberately excluded: its ``cli_args``
+    embed run-directory paths that legitimately differ between the
+    reference and each victim; the metrics dump (path-free by contract),
+    registry and archive are the durable outputs the paper's pipeline
+    consumes.
+    """
+    if not victim_dump.exists():
+        return "resume produced no metrics dump"
+    if (ref / "dump.json").read_bytes() != victim_dump.read_bytes():
+        return "metrics dump differs from reference"
+    if mode in ("retrain", "run"):
+        for name in _ARCHIVE_TABLES:
+            theirs = victim / "archive" / name
+            if not theirs.exists():
+                return f"missing archive table {name}"
+            if (ref / "archive" / name).read_bytes() != theirs.read_bytes():
+                return f"archive table {name} differs from reference"
+    if mode == "retrain":
+        ref_files = sorted(p.name for p in (ref / "registry").glob("*.json"))
+        victim_files = sorted(
+            p.name for p in (victim / "registry").glob("*.json")
+        )
+        if ref_files != victim_files:
+            return (
+                f"registry file set differs: {victim_files} vs {ref_files}"
+            )
+        for name in ref_files:
+            a = (ref / "registry" / name).read_bytes()
+            b = (victim / "registry" / name).read_bytes()
+            if a != b:
+                return f"registry file {name} differs from reference"
+    return None
+
+
+def run_crash_matrix(
+    workdir: Path,
+    mode: str = "retrain",
+    days: float = 1.15,
+    rate: float = 3.0,
+    chunk_size: int = 16,
+    points: Optional[Sequence[int]] = None,
+    python: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CrashMatrixReport:
+    """Enumerate crash points of a mini fleet run; kill/resume/compare each.
+
+    A reference run (crash points logged, none armed) produces the
+    ground-truth dump/registry/archive and the ordered point labels.
+    Then for every requested point *n* (default: all), a fresh victim
+    run is aborted exactly at point *n*, resumed — via ``fleet resume``
+    when a checkpoint file survived, else by re-running with
+    ``--resume`` (the fresh-start path) — and its durable outputs are
+    byte-compared against the reference.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    exe = python or sys.executable
+    say = progress if progress is not None else (lambda message: None)
+
+    ref = workdir / "ref"
+    ref.mkdir()
+    log_path = workdir / "points.log"
+    say(f"crash-matrix[{mode}]: reference run ...")
+    proc = _run_cli(
+        _fleet_args(mode, ref, days, rate, chunk_size),
+        _subprocess_env({ENV_CRASHPOINT_LOG: str(log_path)}),
+        exe,
+    )
+    if proc.returncode != 0:
+        raise CrashMatrixError(
+            f"reference run failed (exit {proc.returncode}): "
+            f"{_stderr_tail(proc)}"
+        )
+    labels = _parse_point_log(log_path)
+    if not labels:
+        raise CrashMatrixError("reference run registered no crash points")
+    say(f"crash-matrix[{mode}]: {len(labels)} crash points enumerated")
+
+    if points is None:
+        indices = list(range(1, len(labels) + 1))
+    else:
+        indices = sorted(set(int(n) for n in points))
+        for n in indices:
+            if not 1 <= n <= len(labels):
+                raise CrashMatrixError(
+                    f"crash point {n} out of range 1..{len(labels)}"
+                )
+
+    outcomes: List[CrashPointOutcome] = []
+    for n in indices:
+        label = labels[n - 1]
+        base = workdir / f"point-{n:03d}"
+        base.mkdir()
+        crash = _run_cli(
+            _fleet_args(mode, base, days, rate, chunk_size),
+            _subprocess_env({ENV_CRASHPOINT: str(n)}),
+            exe,
+        )
+        if crash.returncode != CRASH_EXIT_CODE:
+            outcomes.append(
+                CrashPointOutcome(
+                    n, label, crashed=False, resumed=False, identical=False,
+                    detail=(
+                        f"expected crash exit {CRASH_EXIT_CODE}, got "
+                        f"{crash.returncode}: {_stderr_tail(crash)}"
+                    ),
+                )
+            )
+            say(f"crash-matrix[{mode}]: point {n} FAILED to crash")
+            continue
+        checkpoint = base / "fleet.ckpt"
+        if checkpoint.exists():
+            how = "checkpoint"
+            resume_args = [
+                "fleet", "resume",
+                "--checkpoint", str(checkpoint),
+                "--out", str(base / "resumed.json"),
+            ]
+        else:
+            # The crash predates the first durable checkpoint: the
+            # survivor state has no pointer file, and recovery is a
+            # fresh start that must clear any torn partial output.
+            how = "fresh-start"
+            resume_args = _fleet_args(mode, base, days, rate, chunk_size)
+            resume_args[resume_args.index("--out") + 1] = str(
+                base / "resumed.json"
+            )
+            resume_args.append("--resume")
+        resumed = _run_cli(resume_args, _subprocess_env({}), exe)
+        if resumed.returncode != 0:
+            outcomes.append(
+                CrashPointOutcome(
+                    n, label, crashed=True, resumed=False, identical=False,
+                    detail=(
+                        f"resume ({how}) failed with exit "
+                        f"{resumed.returncode}: {_stderr_tail(resumed)}"
+                    ),
+                )
+            )
+            say(f"crash-matrix[{mode}]: point {n} ({label}) resume FAILED")
+            continue
+        diff = _compare_artifacts(mode, ref, base / "resumed.json", base)
+        outcomes.append(
+            CrashPointOutcome(
+                n, label, crashed=True, resumed=True,
+                identical=diff is None, detail=diff or how,
+            )
+        )
+        status = "ok" if diff is None else f"DIVERGED: {diff}"
+        say(
+            f"crash-matrix[{mode}]: point {n}/{len(labels)} "
+            f"({label}) {status}"
+        )
+    return CrashMatrixReport(mode=mode, labels=labels, outcomes=outcomes)
+
+
+def format_report(report: CrashMatrixReport) -> str:
+    lines = [
+        f"crash-matrix mode={report.mode}: {len(report.labels)} points "
+        f"enumerated, {len(report.outcomes)} tested"
+    ]
+    for outcome in report.outcomes:
+        status = "ok" if outcome.ok else f"FAIL ({outcome.detail})"
+        lines.append(
+            f"  [{outcome.index:3d}] {outcome.label:<44} {status}"
+        )
+    lines.append("PASS" if report.ok else "FAIL")
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
+from repro.atomio import atomic_write_bytes
 from repro.streaming.telemetry import (
     BufferEvent,
     ClientBufferRecord,
@@ -69,27 +70,38 @@ class ArchiveDay:
 def write_archive_day(
     telemetry: TelemetryLog, directory: Union[str, Path]
 ) -> ArchiveDay:
-    """Write one day of telemetry as the three-table CSV archive."""
+    """Write one day of telemetry as the three-table CSV archive.
+
+    Each table is rendered in memory and atomically published through
+    :func:`repro.atomio.atomic_write_bytes`: a crash mid-write leaves
+    either the previous day file or the complete new one, never a
+    half-written table.  The bytes are identical to a plain
+    ``open(..., "w", newline="")`` write (the csv module's ``\\r\\n``
+    terminators pass through untranslated).
+    """
     day = ArchiveDay.in_directory(directory)
     day.directory.mkdir(parents=True, exist_ok=True)
 
-    with open(day.video_sent, "w", newline="") as f:
-        writer = csv.DictWriter(f, fieldnames=_SENT_COLUMNS)
-        writer.writeheader()
-        for record in telemetry.video_sent:
-            writer.writerow(record.to_dict())
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=_SENT_COLUMNS)
+    writer.writeheader()
+    for record in telemetry.video_sent:
+        writer.writerow(record.to_dict())
+    atomic_write_bytes(day.video_sent, buffer.getvalue().encode("utf-8"))
 
-    with open(day.video_acked, "w", newline="") as f:
-        writer = csv.DictWriter(f, fieldnames=_ACKED_COLUMNS)
-        writer.writeheader()
-        for record in telemetry.video_acked:
-            writer.writerow(record.to_dict())
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=_ACKED_COLUMNS)
+    writer.writeheader()
+    for record in telemetry.video_acked:
+        writer.writerow(record.to_dict())
+    atomic_write_bytes(day.video_acked, buffer.getvalue().encode("utf-8"))
 
-    with open(day.client_buffer, "w", newline="") as f:
-        writer = csv.DictWriter(f, fieldnames=_BUFFER_COLUMNS)
-        writer.writeheader()
-        for record in telemetry.client_buffer:
-            writer.writerow(record.to_dict())
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=_BUFFER_COLUMNS)
+    writer.writeheader()
+    for record in telemetry.client_buffer:
+        writer.writerow(record.to_dict())
+    atomic_write_bytes(day.client_buffer, buffer.getvalue().encode("utf-8"))
 
     return day
 
@@ -178,6 +190,22 @@ class ArchiveAppender:
             f.flush()
             f.truncate(int(offsets[name]))
             f.seek(0, os.SEEK_END)
+
+    def reset(self) -> None:
+        """Roll every table back to empty-with-header (fresh-start resume).
+
+        Recovery path for a crash that predates the first durable
+        checkpoint: there are no stored offsets to :meth:`truncate_to`,
+        so every appended row is uncommitted.  The result is
+        byte-identical to a freshly created archive.
+        """
+        for name, _path, _columns in self._tables():
+            f = self._files[name]
+            f.flush()
+            f.truncate(0)
+            f.seek(0)
+            self._writers[name].writeheader()
+        self.flush()
 
     # ------------------------------------------------------------------
     # Streaming reads (the continual-retraining consumer)

@@ -37,6 +37,7 @@ from typing import (
 import numpy as np
 
 from repro import obs, sanitizer
+from repro.atomio import atomic_write_text
 from repro.abr.base import AbrAlgorithm
 from repro.experiment.consort import (
     ConsortFlow,
@@ -216,9 +217,8 @@ class TrialResult:
                 "(run with TrialConfig(observability=True))"
             )
         data = self.obs.to_dict(include_wallclock=include_wallclock)
-        with open(path, "w") as f:
-            json.dump(data, f, sort_keys=True, indent=2)
-            f.write("\n")
+        payload = json.dumps(data, sort_keys=True, indent=2)
+        atomic_write_text(path, payload + "\n")
         self.metrics_path = path
         return path
 

@@ -14,9 +14,9 @@ after every committed chunk:
 * a **config fingerprint**, so a checkpoint is never resumed under a
   different configuration (which would silently corrupt the statistics).
 
-Writes are atomic: serialize to ``<path>.tmp``, ``fsync``, then
-``os.replace`` — a kill at any instant leaves either the previous
-checkpoint or the new one, never a torn file.  Combined with exact sink
+Writes are atomic via :func:`repro.atomio.atomic_write_text` (tmp +
+``fsync`` + ``os.replace`` + directory fsync) — a kill at any instant
+leaves either the previous checkpoint or the new one, never a torn file.  Combined with exact sink
 serialization and sessions being pure functions of ``(seed, session_id)``,
 resuming from *any* surviving checkpoint reproduces a byte-identical final
 metrics dump.
@@ -30,6 +30,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.atomio import atomic_write_text
 from repro.fleet.sinks import FleetSink
 
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -118,26 +119,10 @@ class CheckpointManager:
         """Durably replace the checkpoint (tmp + fsync + rename)."""
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        tmp_path = self.path + ".tmp"
         payload = json.dumps(
             checkpoint.to_dict(), sort_keys=True, separators=(",", ":")
         )
-        with open(tmp_path, "w") as f:
-            f.write(payload)
-            f.write("\n")
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp_path, self.path)
-        # Make the rename itself durable (the directory entry).
-        try:
-            dir_fd = os.open(directory, os.O_RDONLY)
-        except OSError:  # pragma: no cover - exotic filesystems
-            dir_fd = -1
-        if dir_fd >= 0:
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
+        atomic_write_text(self.path, payload + "\n")
         self.saves += 1
 
     def load(self, expected_fingerprint: Optional[str] = None) -> FleetCheckpoint:

@@ -62,6 +62,8 @@ from typing import (
 )
 
 from repro import obs
+from repro.atomio import atomic_write_bytes
+from repro.crashpoints import crashpoint
 from repro.core.train import (
     RECENCY_DECAY,
     RETRAIN_WINDOW_DAYS,
@@ -110,24 +112,6 @@ def _canonical_bytes(payload: dict) -> bytes:
     ).encode("utf-8")
 
 
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """tmp + fsync + rename + directory fsync, like the fleet checkpoint."""
-    directory = path.parent
-    tmp_path = Path(str(path) + ".tmp")
-    with open(tmp_path, "wb") as f:
-        f.write(data)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp_path, path)
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        dir_fd = -1
-    if dir_fd >= 0:
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
 
 
 # ---------------------------------------------------------------------------
@@ -292,7 +276,11 @@ class ModelRegistry:
             "schema_version": REGISTRY_SCHEMA_VERSION,
             "generations": [entry.to_dict() for entry in self._entries],
         }
-        _atomic_write_bytes(self._manifest_path(), _canonical_bytes(payload))
+        atomic_write_bytes(self._manifest_path(), _canonical_bytes(payload))
+
+    def _write_generation(self, filename: str, data: bytes) -> None:
+        """Durably land one generation file (before the manifest names it)."""
+        atomic_write_bytes(self.directory / filename, data)
 
     def commit(
         self,
@@ -330,7 +318,8 @@ class ModelRegistry:
         data = _canonical_bytes(payload)
         sha = hashlib.sha256(data).hexdigest()
         filename = self._filename(generation)
-        _atomic_write_bytes(self.directory / filename, data)
+        self._write_generation(filename, data)
+        crashpoint(f"registry.commit-boundary:{filename}")
         entry = GenerationEntry(
             generation=generation,
             day=int(day),
@@ -581,6 +570,12 @@ def run_fleet_retrain(
     appender = ArchiveAppender(archive_dir)
     if stored_offsets is not None:
         appender.truncate_to(stored_offsets)
+    elif resume:
+        # Fresh start under --resume: the crash landed before the first
+        # checkpoint ever committed, so (like the registry rollback
+        # above) any rows a dead run appended are uncommitted — clear
+        # them, or the restart would append after leftovers and diverge.
+        appender.reset()
     if day_start_offsets is None:
         day_start_offsets = appender.offsets()
 
@@ -625,6 +620,9 @@ def run_fleet_retrain(
         if manager is None:
             return
         appender.flush(sync=True)
+        # Commit order: archive rows must be durable before the
+        # checkpoint durably records their byte offsets (DUR003 pair).
+        crashpoint("retrain.checkpoint-boundary")
         manager.save(
             FleetCheckpoint(
                 fingerprint=fingerprint,

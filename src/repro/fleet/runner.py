@@ -32,6 +32,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.abr.base import AbrAlgorithm
+from repro.atomio import atomic_write_text
+from repro.crashpoints import crashpoint
 from repro.batch import is_vectorizable_algorithm, run_session_batch
 from repro.analysis.bootstrap import ConfidenceInterval
 from repro.analysis.summary import SchemeSummary
@@ -232,10 +234,13 @@ class FleetResult:
         }
 
     def dump(self, path: str) -> str:
-        """Write the canonical metrics dump (sorted keys, 2-space indent)."""
-        with open(path, "w") as f:
-            json.dump(self.to_dump_dict(), f, sort_keys=True, indent=2)
-            f.write("\n")
+        """Write the canonical metrics dump (sorted keys, 2-space indent).
+
+        Atomic + durable: a kill mid-dump must leave no torn file for a
+        ``cmp``-based resume check to misread as corruption.
+        """
+        payload = json.dumps(self.to_dump_dict(), sort_keys=True, indent=2)
+        atomic_write_text(path, payload + "\n")
         self.dump_path = path
         return path
 
@@ -737,6 +742,12 @@ def run_fleet(
             # rows appended after the surviving checkpoint belong to
             # sessions that will be re-simulated.
             appender.truncate_to(stored_offsets)
+        elif resume and manager is not None and not manager.exists():
+            # Fresh start under --resume: the crash landed before the
+            # first checkpoint ever committed, so every row a dead run
+            # appended is uncommitted — clear them, or the restart would
+            # append after leftovers and diverge from a clean run.
+            appender.reset()
 
     def save_checkpoint(completed: bool) -> None:
         if manager is None:
@@ -745,6 +756,9 @@ def run_fleet(
         if appender is not None:
             appender.flush(sync=True)
             offsets = appender.offsets()
+        # Commit order: archive rows must be durable before the
+        # checkpoint durably records their byte offsets (DUR003 pair).
+        crashpoint("fleet.checkpoint-boundary")
         manager.save(
             FleetCheckpoint(
                 fingerprint=fingerprint,

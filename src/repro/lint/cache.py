@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 import repro.lint as _lint_package
+from repro.atomio import atomic_write_text
 from repro.lint.findings import Finding
 
 CACHE_VERSION = 1
@@ -132,8 +133,8 @@ class FindingsCache:
         )
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = entry.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(payload, encoding="utf-8")
-            os.replace(tmp, entry)
+            # durable=False: losing a cache entry on power cut merely
+            # costs a re-lint; atomicity (no torn entries) still matters.
+            atomic_write_text(entry, payload, durable=False)
         except OSError:
             return

@@ -22,6 +22,11 @@ from repro.lint.rules_ckpt import (
     FingerprintExclusions,
     default_exclusions_path,
 )
+from repro.lint.rules_durability import (
+    DEFAULT_DURABLE_ROOTS_NAME,
+    DurabilityConfig,
+    default_durable_roots_path,
+)
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +101,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--durability",
+        action="store_true",
+        help=(
+            "also run the crash-consistency rules (DUR000-DUR004) over "
+            "the declared durable roots; requires --whole-program"
+        ),
+    )
+    parser.add_argument(
+        "--durable-roots",
+        default=None,
+        metavar="FILE",
+        help=(
+            "durable-roots config for --durability (default: "
+            f"{DEFAULT_DURABLE_ROOTS_NAME} in the current directory)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the per-file findings cache for this run",
@@ -123,6 +145,14 @@ def run_lint(args: argparse.Namespace) -> int:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
     purity_config: Optional[PurityConfig] = None
     exclusions: Optional[FingerprintExclusions] = None
+    durability: Optional[DurabilityConfig] = None
+    if args.durability and not args.whole_program:
+        print(
+            "error: --durability requires --whole-program (the DUR rules "
+            "run over the whole-program call graph)",
+            file=sys.stderr,
+        )
+        return 2
     if args.whole_program:
         config_path = (
             Path(args.purity_roots)
@@ -150,6 +180,17 @@ def run_lint(args: argparse.Namespace) -> int:
             except (OSError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+        if args.durability:
+            durable_path = (
+                Path(args.durable_roots)
+                if args.durable_roots is not None
+                else default_durable_roots_path()
+            )
+            try:
+                durability = DurabilityConfig.load(durable_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     try:
         if args.write_baseline:
             target = args.baseline or DEFAULT_BASELINE_NAME
@@ -169,6 +210,7 @@ def run_lint(args: argparse.Namespace) -> int:
             purity_config=purity_config,
             use_cache=False if args.no_cache else None,
             fingerprint_exclusions=exclusions,
+            durability=durability,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,7 @@ from repro.lint.callgraph import ParsedModule
 from repro.lint.findings import Finding
 from repro.lint.purity import PurityConfig, analyze_program
 from repro.lint.rules_ckpt import FingerprintExclusions
+from repro.lint.rules_durability import DurabilityConfig
 from repro.lint.suppressions import apply_suppressions, parse_suppressions
 
 
@@ -170,6 +171,7 @@ def lint_whole_program(
     config: PurityConfig,
     sources: Optional[Dict[str, str]] = None,
     exclusions: Optional[FingerprintExclusions] = None,
+    durability: Optional[DurabilityConfig] = None,
 ) -> List[Finding]:
     """Run only the whole-program phase over pre-parsed modules.
 
@@ -177,7 +179,9 @@ def lint_whole_program(
     through :func:`lint_paths` with ``whole_program=True``.
     """
     parsed_map = {parsed.path: parsed for parsed in files}
-    findings = analyze_program(parsed_map, config, exclusions=exclusions)
+    findings = analyze_program(
+        parsed_map, config, exclusions=exclusions, durability=durability
+    )
     if sources is None:
         sources = {
             path: "\n".join(parsed.lines)
@@ -194,6 +198,7 @@ def lint_paths(
     purity_config: Optional[PurityConfig] = None,
     use_cache: Optional[bool] = None,
     fingerprint_exclusions: Optional[FingerprintExclusions] = None,
+    durability: Optional[DurabilityConfig] = None,
 ) -> LintReport:
     """Lint files/directories, returning a :class:`LintReport`.
 
@@ -203,7 +208,9 @@ def lint_paths(
         Also run the interprocedural phase — purity (PURE001–PURE003),
         seed lineage (SEED001–SEED004), and checkpoint coverage
         (CKPT001–CKPT002) — over the full file set, using *purity_config*
-        (required then).  *fingerprint_exclusions* enables CKPT001.
+        (required then).  *fingerprint_exclusions* enables CKPT001;
+        *durability* enables the crash-consistency rules
+        (DUR000–DUR004).
     use_cache:
         Force the per-file findings cache on/off; default follows
         :func:`repro.lint.cache.cache_enabled` (on, except in CI or under
@@ -254,7 +261,10 @@ def lint_paths(
     if whole_program:
         assert purity_config is not None
         program_findings = analyze_program(
-            parsed_files, purity_config, exclusions=fingerprint_exclusions
+            parsed_files,
+            purity_config,
+            exclusions=fingerprint_exclusions,
+            durability=durability,
         )
         all_findings.extend(
             _apply_program_suppressions(program_findings, sources)
@@ -298,3 +308,7 @@ def iter_rule_docs() -> Iterable[str]:
         yield f"{seed_rule.id} (whole-program): {seed_rule.summary}"
     for ckpt_rule in make_ckpt_rules():
         yield f"{ckpt_rule.id} (whole-program): {ckpt_rule.summary}"
+    from repro.lint.rules_durability import make_durability_rules
+
+    for dur_rule in make_durability_rules():
+        yield f"{dur_rule.id} (whole-program): {dur_rule.summary}"

@@ -41,6 +41,7 @@ from repro.lint.findings import Finding
 if TYPE_CHECKING:  # imported lazily at runtime to avoid cycles
     from repro.lint.dataflow import SeedFlow
     from repro.lint.rules_ckpt import FingerprintExclusions
+    from repro.lint.rules_durability import DurabilityConfig
 
 PURITY_CONFIG_VERSION = 1
 DEFAULT_PURITY_CONFIG_NAME = "purity-roots.json"
@@ -100,6 +101,14 @@ class ProgramContext:
     exclusions: Optional["FingerprintExclusions"] = None
     """Checked-in fingerprint-coverage declaration; ``None`` disables
     CKPT001 (CKPT002 needs no configuration)."""
+
+    durability: Optional["DurabilityConfig"] = None
+    """Checked-in durable-roots declaration; ``None`` disables the DUR
+    rule family."""
+
+    durable: "frozenset[str]" = frozenset()
+    """Qualnames of every function in the durable region (reachable from
+    the declared durable roots)."""
 
     def pure_functions(self) -> List[str]:
         return sorted(self.pure)
@@ -173,13 +182,15 @@ def analyze_program(
     files: Mapping[str, ParsedModule],
     config: PurityConfig,
     exclusions: Optional["FingerprintExclusions"] = None,
+    durability: Optional["DurabilityConfig"] = None,
 ) -> List[Finding]:
     """Run every whole-program rule family; returns raw findings.
 
-    Three rule families share the one call graph built here: the purity
+    Four rule families share the one call graph built here: the purity
     rules (over the pure region), the seed-lineage rules (over every
-    function — seed discipline is a tree-wide contract), and the
-    checkpoint-coverage rules (CKPT001 only when *exclusions* is given).
+    function — seed discipline is a tree-wide contract), the
+    checkpoint-coverage rules (CKPT001 only when *exclusions* is given),
+    and the durability rules (only when *durability* is given).
     Suppression handling is the caller's job (the engine applies the same
     per-file ``# repro: allow-RULE(reason)`` machinery the per-file phase
     uses, so one waiver syntax covers both phases).
@@ -207,5 +218,23 @@ def analyze_program(
         findings.extend(seed_rule.check_program(program))
     for ckpt_rule in make_ckpt_rules():
         findings.extend(ckpt_rule.check_program(program))
+    if durability is not None:
+        # The durability family runs LAST: graph.reachable() re-roots
+        # the shared witness-path parent map, so the durable region is
+        # computed only after every purity-rooted rule has produced its
+        # witnesses.
+        from repro.lint.rules_durability import (
+            expand_durable_roots,
+            make_durability_rules,
+        )
+
+        durable_roots, durable_problems = expand_durable_roots(
+            graph, durability
+        )
+        findings.extend(durable_problems)
+        program.durability = durability
+        program.durable = frozenset(graph.reachable(durable_roots))
+        for dur_rule in make_durability_rules():
+            findings.extend(dur_rule.check_program(program))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,457 @@
+"""Whole-program durability rules: DUR000–DUR004.
+
+The crash-consistency counterpart of the purity analysis: where the
+purity rules guard what the *pure region* may read, these guard how the
+**durable region** — every function reachable from the declared durable
+roots (checkpoint save, registry commit, archive flush/truncate, fleet
+dump) — may touch the filesystem.  Each mutation is classified by the
+write-effect pass (:mod:`repro.lint.effects`) and findings carry the
+call chain from a durable root, so the report explains *why* a function
+is held to the durable contract.
+
+=========  ===============================================================
+DUR000     configuration error in ``durable-roots.json`` — a declared
+           root, atomic helper or commit-order member not found in the
+           linted tree.  Config errors fail the run: a typo must never
+           silently shrink the checked region.  Entries whose module is
+           outside the linted file set are skipped (partial lints stay
+           quiet)
+DUR001     raw write (``open(..., "w"/"a"/"x")``, ``Path.write_text``/
+           ``write_bytes``) in the durable region not routed through the
+           blessed atomic helper — a crash mid-write leaves a torn file
+DUR002     tmp+rename without an ``os.fsync`` of the written file before
+           the rename, or without a directory fsync after it — the
+           rename can publish an empty/torn file, or itself vanish on
+           power loss
+DUR003     multi-file commit-order violation: a pointer/manifest write
+           precedes the data write it references (the ordered pairs —
+           registry generation before manifest, archive flush before
+           checkpoint save — are declared in ``durable-roots.json``)
+DUR004     in-place read-modify-write of a durable file outside a commit
+           section: an update-mode open, or reading and raw-rewriting
+           the same path in one function — a crash between truncate and
+           rewrite loses both versions
+=========  ===============================================================
+
+Config schema (version 1, checked in as ``durable-roots.json`` beside
+``purity-roots.json``)::
+
+    {
+      "version": 1,
+      "roots": ["repro.fleet.checkpoint.CheckpointManager.save", ...],
+      "atomic_helpers": ["repro.atomio.atomic_write_bytes", ...],
+      "exempt": ["repro.atomio", "repro.crashpoints"],
+      "commit_order": [
+        {"first": "<data write>", "then": "<pointer write>",
+         "reason": "why the pointer must land second"}
+      ]
+    }
+
+``exempt`` lists the module(s) implementing the blessed protocol itself:
+their raw opens/renames/fsyncs ARE the helper, so the rules skip them.
+DUR001/002/004 run over the durable region; DUR003 scans every linted
+function (the callers that sequence two durable commits usually sit
+*above* the roots, not below them).  Waivers use the ordinary inline
+``# repro: allow-DURxxx(reason)`` comments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.lint.callgraph import CallGraph, FunctionInfo
+from repro.lint.effects import (
+    FSYNC_FILE,
+    FSYNC_OTHER,
+    HELPER,
+    OPEN_READ,
+    OPEN_UPDATE,
+    OPEN_WRITE,
+    PATH_READ,
+    PATH_WRITE,
+    RENAME,
+    CallSite,
+    WriteEffect,
+    function_calls,
+    function_effects,
+)
+from repro.lint.findings import Finding
+from repro.lint.purity import ProgramContext
+from repro.lint.rules_ckpt import _in_lint_scope
+from repro.lint.rules_purity import PurityRule
+
+DURABLE_ROOTS_VERSION = 1
+DEFAULT_DURABLE_ROOTS_NAME = "durable-roots.json"
+
+#: Rule id for durable-roots config problems (parallel to ``PURE000``).
+DUR_CONFIG_RULE_ID = "DUR000"
+
+
+@dataclass(frozen=True)
+class CommitOrderPair:
+    """Declared write-order invariant: *first* (the data) must be issued
+    before *then* (the pointer/manifest that references it) within any
+    one function that calls both."""
+
+    first: str
+    then: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Checked-in declaration of the durable roots and blessed helpers."""
+
+    roots: Tuple[str, ...] = ()
+    atomic_helpers: Tuple[str, ...] = ()
+    exempt: Tuple[str, ...] = ()
+    commit_order: Tuple[CommitOrderPair, ...] = ()
+    source_path: str = "<inline>"
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DurabilityConfig":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != DURABLE_ROOTS_VERSION:
+            raise ValueError(
+                f"unsupported durable-roots version "
+                f"{data.get('version')!r} in {path}"
+            )
+        pairs: List[CommitOrderPair] = []
+        for entry in list(data.get("commit_order", [])):
+            pairs.append(
+                CommitOrderPair(
+                    first=str(entry["first"]),
+                    then=str(entry["then"]),
+                    reason=str(entry.get("reason", "")),
+                )
+            )
+        return cls(
+            roots=tuple(str(r) for r in data.get("roots", [])),
+            atomic_helpers=tuple(
+                str(h) for h in data.get("atomic_helpers", [])
+            ),
+            exempt=tuple(str(e) for e in data.get("exempt", [])),
+            commit_order=tuple(pairs),
+            source_path=Path(path).as_posix(),
+        )
+
+
+def default_durable_roots_path(start: Union[str, Path] = ".") -> Path:
+    """``durable-roots.json`` in *start* (the conventional repo root)."""
+    return Path(start) / DEFAULT_DURABLE_ROOTS_NAME
+
+
+def expand_durable_roots(
+    graph: CallGraph, config: DurabilityConfig
+) -> Tuple[List[str], List[Finding]]:
+    """Resolve declared roots against the graph; missing ones are DUR000.
+
+    Also validates the atomic helpers and commit-order members, so one
+    pass over ``durable-roots.json`` checks it completely.
+    """
+    roots: List[str] = []
+    problems: List[Finding] = []
+
+    def config_error(message: str) -> Finding:
+        return Finding(
+            rule=DUR_CONFIG_RULE_ID,
+            path=config.source_path,
+            line=1,
+            col=0,
+            message=message,
+            source_line="",
+        )
+
+    for root in config.roots:
+        if root in graph.functions:
+            roots.append(root)
+        elif _in_lint_scope(graph, root):
+            problems.append(
+                config_error(
+                    f"declared durable root {root!r} was not found in the "
+                    "linted tree — fix durable-roots.json or restore the "
+                    "function"
+                )
+            )
+    for helper in config.atomic_helpers:
+        if helper not in graph.functions and _in_lint_scope(graph, helper):
+            problems.append(
+                config_error(
+                    f"declared atomic helper {helper!r} was not found in "
+                    "the linted tree"
+                )
+            )
+    for pair in config.commit_order:
+        for member in (pair.first, pair.then):
+            if member not in graph.functions and _in_lint_scope(
+                graph, member
+            ):
+                problems.append(
+                    config_error(
+                        f"commit-order member {member!r} was not found in "
+                        "the linted tree"
+                    )
+                )
+    return sorted(set(roots)), problems
+
+
+class DurabilityRule(PurityRule):
+    """Base for durability rules: runs only with a durability config."""
+
+    def durable_finding(
+        self,
+        fn: FunctionInfo,
+        effect_line: int,
+        effect_col: int,
+        message: str,
+        program: ProgramContext,
+    ) -> Finding:
+        """A finding with the ``durable via root -> ... -> fn`` witness."""
+        chain = program.graph.witness_path(fn.qualname)
+        if len(chain) > 1:
+            short = [part.rsplit(".", 2)[-1] for part in chain[:4]]
+            if len(chain) > 4:
+                short.append("…")
+            via = " (durable via " + " -> ".join(short) + ")"
+        else:
+            via = ""
+        parsed = program.graph.modules.get(fn.module)
+        source_line = ""
+        if parsed is not None and 1 <= effect_line <= len(parsed.lines):
+            source_line = parsed.lines[effect_line - 1]
+        return Finding(
+            rule=self.id,
+            path=fn.path,
+            line=effect_line,
+            col=effect_col,
+            message=message + via,
+            source_line=source_line,
+        )
+
+    @staticmethod
+    def _exempt(config: DurabilityConfig, fn: FunctionInfo) -> bool:
+        return any(
+            fn.module == prefix or fn.module.startswith(prefix + ".")
+            for prefix in config.exempt
+        )
+
+    @classmethod
+    def _durable_functions(
+        cls, program: ProgramContext
+    ) -> Iterator[Tuple[FunctionInfo, List[WriteEffect]]]:
+        """Durable-region functions (exempt modules and the helpers
+        themselves skipped), with their write effects."""
+        config = program.durability
+        if config is None:
+            return
+        helpers = frozenset(config.atomic_helpers)
+        for qualname in sorted(program.durable):
+            fn = program.graph.functions.get(qualname)
+            if fn is None:
+                continue
+            if qualname in helpers or cls._exempt(config, fn):
+                continue
+            imports = cls._imports_for(program, fn)
+            yield fn, function_effects(fn, imports, helpers)
+
+
+class RawDurableWriteRule(DurabilityRule):
+    """DUR001 — raw writes on durable paths bypass the atomic helper."""
+
+    id = "DUR001"
+    summary = (
+        "raw write in the durable region not routed through the blessed "
+        "atomic-write helper — a crash mid-write leaves a torn file"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        for fn, effects in self._durable_functions(program):
+            if any(e.kind == RENAME for e in effects):
+                # The function implements a publish protocol inline
+                # (write-tmp-then-rename); DUR002 judges that protocol,
+                # so the tmp write is not a raw in-place write.
+                continue
+            for effect in effects:
+                if effect.kind == OPEN_WRITE:
+                    yield self.durable_finding(
+                        fn,
+                        effect.line,
+                        effect.col,
+                        f"raw open(..., {effect.detail!r}) of "
+                        f"{effect.target or 'a durable path'} in the "
+                        "durable region — route the write through "
+                        "repro.atomio.atomic_write_bytes/atomic_write_text",
+                        program,
+                    )
+                elif effect.kind == PATH_WRITE:
+                    yield self.durable_finding(
+                        fn,
+                        effect.line,
+                        effect.col,
+                        f"raw {effect.target}.{effect.detail}(...) in the "
+                        "durable region — route the write through "
+                        "repro.atomio.atomic_write_bytes/atomic_write_text",
+                        program,
+                    )
+
+
+class RenameFsyncRule(DurabilityRule):
+    """DUR002 — tmp+rename published without the fsync bracket."""
+
+    id = "DUR002"
+    summary = (
+        "rename-publish without fsync of the written file before the "
+        "rename or of the directory after it — power loss can publish a "
+        "torn file or undo the publish"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        for fn, effects in self._durable_functions(program):
+            renames = [e for e in effects if e.kind == RENAME]
+            if not renames:
+                continue
+            file_syncs = [e for e in effects if e.kind == FSYNC_FILE]
+            dir_syncs = [e for e in effects if e.kind == FSYNC_OTHER]
+            for rename in renames:
+                if not any(s.line <= rename.line for s in file_syncs):
+                    yield self.durable_finding(
+                        fn,
+                        rename.line,
+                        rename.col,
+                        f"{rename.detail} publishes "
+                        f"{rename.target or 'a durable file'} without an "
+                        "os.fsync of the written file first — a crash "
+                        "just after the rename can publish an empty or "
+                        "torn file",
+                        program,
+                    )
+                elif not any(s.line >= rename.line for s in dir_syncs):
+                    yield self.durable_finding(
+                        fn,
+                        rename.line,
+                        rename.col,
+                        f"{rename.detail} publishes "
+                        f"{rename.target or 'a durable file'} without a "
+                        "directory fsync after it — the rename itself "
+                        "may not survive power loss",
+                        program,
+                    )
+
+
+class CommitOrderRule(DurabilityRule):
+    """DUR003 — pointer durably written before the data it references.
+
+    Scans every linted function (not just the durable region: the
+    function that sequences two durable commits is normally a *caller*
+    of the roots).  A call site matches a declared pair member by
+    resolved qualname or, failing resolution, by bare method name — an
+    over-approximation; false pairings carry a reasoned
+    ``allow-DUR003`` comment.
+    """
+
+    id = "DUR003"
+    summary = (
+        "commit-order violation: the pointer/manifest write precedes "
+        "the data write it references"
+    )
+
+    @staticmethod
+    def _matches(site: CallSite, member: str) -> bool:
+        if site.resolved == member:
+            return True
+        return site.name == member.rsplit(".", 1)[-1]
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        config = program.durability
+        if config is None or not config.commit_order:
+            return
+        graph = program.graph
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            if self._exempt(config, fn):
+                continue
+            imports = self._imports_for(program, fn)
+            sites = function_calls(fn, imports)
+            for pair in config.commit_order:
+                first_lines = [
+                    s.line for s in sites if self._matches(s, pair.first)
+                ]
+                then_sites = [
+                    s for s in sites if self._matches(s, pair.then)
+                ]
+                if not first_lines or not then_sites:
+                    continue
+                offender = min(
+                    then_sites, key=lambda s: (s.line, s.col)
+                )
+                if offender.line < min(first_lines):
+                    reason = f" ({pair.reason})" if pair.reason else ""
+                    yield self.durable_finding(
+                        fn,
+                        offender.line,
+                        offender.col,
+                        f"{pair.then} is issued before {pair.first} in "
+                        f"{fn.qualname} — the pointer would durably "
+                        "reference data that a crash can still lose"
+                        + reason,
+                        program,
+                    )
+
+
+class ReadModifyWriteRule(DurabilityRule):
+    """DUR004 — in-place read-modify-write of a durable file."""
+
+    id = "DUR004"
+    summary = (
+        "in-place read-modify-write of a durable file outside a commit "
+        "section — a crash mid-rewrite loses both versions"
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Finding]:
+        for fn, effects in self._durable_functions(program):
+            for effect in effects:
+                if effect.kind == OPEN_UPDATE:
+                    yield self.durable_finding(
+                        fn,
+                        effect.line,
+                        effect.col,
+                        f"opens {effect.target or 'a durable file'} in "
+                        f"update mode {effect.detail!r} — in-place "
+                        "mutation of a durable file; rewrite it through "
+                        "the atomic helper instead",
+                        program,
+                    )
+            read_targets = {
+                e.target
+                for e in effects
+                if e.kind in (OPEN_READ, PATH_READ) and e.target
+            }
+            for effect in effects:
+                if (
+                    effect.kind in (OPEN_WRITE, PATH_WRITE)
+                    and effect.target in read_targets
+                ):
+                    yield self.durable_finding(
+                        fn,
+                        effect.line,
+                        effect.col,
+                        f"reads and raw-rewrites {effect.target} in "
+                        "place — a crash between truncate and rewrite "
+                        "loses both the old and the new version; "
+                        "publish the new version through the atomic "
+                        "helper",
+                        program,
+                    )
+
+
+def make_durability_rules() -> List[DurabilityRule]:
+    """Fresh instances of every durability rule, in id order."""
+    return [
+        RawDurableWriteRule(),
+        RenameFsyncRule(),
+        CommitOrderRule(),
+        ReadModifyWriteRule(),
+    ]

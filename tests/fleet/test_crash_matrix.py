@@ -1,0 +1,182 @@
+"""The crash-point runtime, the power-loss simulator, and the crash-matrix
+harness (``repro crash-matrix``).
+
+Three layers, bottom-up: in-process unit tests for the numbered
+crash-point runtime (arming, logging, the abort latch), crash-state
+enumeration semantics of :class:`PowerLossSimulator`, and a small
+subprocess round trip — the reference run's point log is deterministic,
+and killing a real fleet run at a pre-checkpoint and a post-checkpoint
+point both recover byte-identically.  The exhaustive all-points sweep
+runs in CI (``repro crash-matrix`` on the retrain and edge scenarios).
+"""
+
+import os
+
+import pytest
+
+from repro import crashpoints
+from repro.crashpoints import (
+    CRASH_EXIT_CODE,
+    CrashMatrixError,
+    PowerLossSimulator,
+    crashpoint,
+    format_report,
+    run_crash_matrix,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_crashpoint_state(monkeypatch):
+    """Never let armed state or env leak between tests."""
+    monkeypatch.delenv(crashpoints.ENV_CRASHPOINT, raising=False)
+    monkeypatch.delenv(crashpoints.ENV_CRASHPOINT_LOG, raising=False)
+    crashpoints.reset()
+    yield
+    crashpoints.reset()
+
+
+class TestCrashpointRuntime:
+    def test_disarmed_is_a_noop(self):
+        crashpoint("anything")
+        crashpoint("anything-else")
+        assert crashpoints.hits() == 0
+
+    def test_log_enumerates_points_in_order(self, tmp_path):
+        log = tmp_path / "points.log"
+        crashpoints.configure(target=None, log_path=str(log))
+        crashpoint("alpha")
+        crashpoint("beta")
+        crashpoint("alpha")
+        assert crashpoints.hits() == 3
+        assert log.read_text() == "1 alpha\n2 beta\n3 alpha\n"
+
+    def test_abort_fires_exactly_at_target(self, monkeypatch):
+        aborted = []
+        monkeypatch.setattr(crashpoints, "_abort", aborted.append)
+        crashpoints.configure(target=2)
+        crashpoint("one")
+        assert aborted == []
+        crashpoint("two")
+        assert aborted == [CRASH_EXIT_CODE]
+        crashpoint("three")  # past the target: no re-fire
+        assert aborted == [CRASH_EXIT_CODE]
+
+    def test_env_arming_is_read_once(self, monkeypatch, tmp_path):
+        log = tmp_path / "env.log"
+        monkeypatch.setenv(crashpoints.ENV_CRASHPOINT_LOG, str(log))
+        crashpoints.reset()
+        crashpoint("seen")
+        monkeypatch.delenv(crashpoints.ENV_CRASHPOINT_LOG)
+        crashpoint("still-seen")  # state was latched at first use
+        assert log.read_text() == "1 seen\n2 still-seen\n"
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-3"])
+    def test_bad_env_values_raise(self, monkeypatch, raw):
+        monkeypatch.setenv(crashpoints.ENV_CRASHPOINT, raw)
+        crashpoints.reset()
+        with pytest.raises(ValueError):
+            crashpoint("never")
+
+
+class TestPowerLossSimulator:
+    def _publish(self, work, fsync=True):
+        tmp = work / "state.txt.tmp"
+        with open(tmp, "w") as f:
+            f.write("new")
+            if fsync:
+                f.flush()
+                os.fsync(f.fileno())
+        os.replace(tmp, work / "state.txt")
+
+    def test_correct_protocol_never_tears(self, tmp_path):
+        (tmp_path / "state.txt").write_text("old")
+        sim = PowerLossSimulator(tmp_path)
+        with sim:
+            self._publish(tmp_path, fsync=True)
+        # open, fsync, replace -> 3 ops, 4 states.
+        assert sim.n_states() == 4
+        for _, state in sim.crash_states():
+            assert state["state.txt"] in (b"old", b"new")
+
+    def test_unfsynced_publish_has_torn_state(self, tmp_path):
+        (tmp_path / "state.txt").write_text("old")
+        sim = PowerLossSimulator(tmp_path)
+        with sim:
+            self._publish(tmp_path, fsync=False)
+        torn = [
+            prefix
+            for prefix, state in sim.crash_states()
+            if state["state.txt"] == b""
+        ]
+        # The rename metadata persisted but the data never got a sync.
+        assert torn, "expected the rename to publish an empty file"
+
+    def test_truncate_on_open_loses_old_content(self, tmp_path):
+        (tmp_path / "a.txt").write_text("old")
+        sim = PowerLossSimulator(tmp_path)
+        with sim:
+            with open(tmp_path / "a.txt", "w") as f:
+                f.write("new")
+        # One op (the open); the post-open state is the truncated file.
+        assert sim.durable_state(1)["a.txt"] == b""
+
+    def test_materialize_round_trip(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        (work / "keep.txt").write_text("kept")
+        sim = PowerLossSimulator(work)
+        with sim:
+            self._publish(work, fsync=True)
+        dest = sim.materialize(sim.durable_state(3), tmp_path / "survivor")
+        assert (dest / "keep.txt").read_text() == "kept"
+        assert (dest / "state.txt").read_text() == "new"
+        assert not (dest / "state.txt.tmp").exists()
+
+
+@pytest.mark.parallel_smoke
+class TestCrashMatrixSubprocess:
+    """Small real-subprocess round trips; the full sweep lives in CI."""
+
+    MINI = dict(mode="run", days=0.02, rate=200.0, chunk_size=6)
+
+    def test_reference_point_log_is_deterministic(self, tmp_path):
+        from repro.crashpoints import (
+            ENV_CRASHPOINT_LOG,
+            _fleet_args,
+            _parse_point_log,
+            _run_cli,
+            _subprocess_env,
+        )
+        import sys
+
+        logs = []
+        for name in ("one", "two"):
+            base = tmp_path / name
+            base.mkdir()
+            log = base / "points.log"
+            proc = _run_cli(
+                _fleet_args("run", base, 0.02, 200.0, 6),
+                _subprocess_env({ENV_CRASHPOINT_LOG: str(log)}),
+                sys.executable,
+            )
+            assert proc.returncode == 0, proc.stderr.decode()[-500:]
+            labels = _parse_point_log(log)
+            assert labels, "reference run registered no crash points"
+            logs.append(labels)
+        assert logs[0] == logs[1]
+
+    def test_kill_and_resume_both_recovery_paths(self, tmp_path):
+        # Point 2 precedes the first durable checkpoint (fresh-start
+        # recovery); a point near the end resumes from a checkpoint.
+        report = run_crash_matrix(tmp_path, points=[2, 5], **self.MINI)
+        assert [o.index for o in report.outcomes] == [2, 5]
+        assert all(o.crashed for o in report.outcomes)
+        assert all(o.resumed for o in report.outcomes)
+        assert all(o.identical for o in report.outcomes)
+        assert report.ok
+        text = format_report(report)
+        assert "PASS" in text and "mode=run" in text
+
+    def test_out_of_range_point_is_an_error(self, tmp_path):
+        with pytest.raises(CrashMatrixError, match="out of range"):
+            run_crash_matrix(tmp_path, points=[10_000], **self.MINI)

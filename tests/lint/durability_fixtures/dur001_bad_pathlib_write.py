@@ -1,0 +1,28 @@
+# repro: module=durfix.dur001_bad_pathlib_write
+"""BAD: ``Path.write_text`` on a durable path.
+
+Static: DUR001 (the pathlib spelling of the raw write).  Dynamic:
+``write_text`` truncates then writes — the crash state between the two
+is an empty file.
+"""
+
+import json
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    (base / "state.json").write_text(json.dumps({"value": 2}))
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

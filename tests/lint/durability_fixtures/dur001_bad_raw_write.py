@@ -1,0 +1,29 @@
+# repro: module=durfix.dur001_bad_raw_write
+"""BAD: raw ``open(..., "w")`` on a durable path.
+
+Static: DUR001.  Dynamic: the power cut lands between the
+truncate-on-open and the write reaching the disk, leaving an empty
+``state.json`` — neither the old nor the new version survives.
+"""
+
+import json
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    with open(base / "state.json", "w") as f:
+        f.write(json.dumps({"value": 2}))
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

@@ -1,0 +1,29 @@
+# repro: module=durfix.dur001_good_helper
+"""GOOD: the durable write goes through the blessed atomic helper.
+
+Static: silent (the call is a HELPER effect).  Dynamic: every crash
+state holds either the complete old version or the complete new one.
+"""
+
+import json
+
+from repro.atomio import atomic_write_text
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    atomic_write_text(base / "state.json", json.dumps({"value": 2}))
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

@@ -1,0 +1,35 @@
+# repro: module=durfix.dur002_bad_fsync_after_rename
+"""BAD: the file fsync happens *after* the rename publishes it.
+
+Static: DUR002 (no file fsync at or before the rename line).  Dynamic:
+between the rename and the late fsync there is a window where the
+published ``state.json`` still has no data on disk.
+"""
+
+import json
+import os
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    tmp = base / "state.json.tmp"
+    f = open(tmp, "w")
+    f.write(json.dumps({"value": 2}))
+    f.flush()
+    os.replace(tmp, base / "state.json")
+    os.fsync(f.fileno())
+    f.close()
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

@@ -1,0 +1,38 @@
+# repro: module=durfix.dur002_bad_no_dirsync
+"""BAD (static-only): correct file fsync, but no directory fsync.
+
+Static: DUR002's second clause — the rename itself may not survive
+power loss on filesystems that do not order directory updates.
+Dynamic: the :class:`PowerLossSimulator` crash model deliberately
+treats renames as immediately persistent (ext4-ordered semantics), so
+this fixture produces NO torn state — the one documented static-only
+over-approximation in the DUR family, mirroring the nonlocal-cell case
+in the purity crosscheck.
+"""
+
+import json
+import os
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    tmp = base / "state.json.tmp"
+    with open(tmp, "w") as f:
+        f.write(json.dumps({"value": 2}))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, base / "state.json")
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

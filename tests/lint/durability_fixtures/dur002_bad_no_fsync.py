@@ -1,0 +1,32 @@
+# repro: module=durfix.dur002_bad_no_fsync
+"""BAD: tmp+rename publish without fsyncing the written file first.
+
+Static: DUR002 (no file fsync at or before the rename).  Dynamic: the
+rename metadata persists immediately but the tmp file's data never got
+an fsync, so the crash state publishes an empty ``state.json``.
+"""
+
+import json
+import os
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    tmp = base / "state.json.tmp"
+    with open(tmp, "w") as f:
+        f.write(json.dumps({"value": 2}))
+    os.replace(tmp, base / "state.json")
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

@@ -1,0 +1,38 @@
+# repro: module=durfix.dur002_good_protocol
+"""GOOD: the full publish protocol — file fsync, rename, directory fsync.
+
+Static: silent.  Dynamic: every crash state holds a complete old or
+new version.
+"""
+
+import json
+import os
+
+
+def setup(base):
+    (base / "state.json").write_text(json.dumps({"value": 1}))
+
+
+def root(base):
+    tmp = base / "state.json.tmp"
+    with open(tmp, "w") as f:
+        f.write(json.dumps({"value": 2}))
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, base / "state.json")
+    dir_fd = os.open(str(base), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def consistent(base):
+    path = base / "state.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("value") in (1, 2)

@@ -1,0 +1,48 @@
+# repro: module=durfix.dur003_bad_checkpoint_before_flush
+"""BAD: the checkpoint lands before the archive rows it points into.
+
+Static: DUR003 under the declared pair (first=``flush_rows``,
+then=``save_marker``).  Dynamic: the durable marker records an offset
+of rows the archive file does not yet hold — the fleet-checkpoint /
+archive-flush invariant in miniature.
+"""
+
+import json
+import os
+
+from repro.atomio import atomic_write_text
+
+
+def setup(base):
+    (base / "rows.log").write_text("")
+
+
+def save_marker(base, count):
+    atomic_write_text(base / "marker.json", json.dumps({"rows": count}))
+
+
+def flush_rows(base, rows):
+    with open(base / "rows.log", "a") as f:
+        for row in rows:
+            f.write(row + "\n")
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def root(base):
+    rows = ["row-1", "row-2"]
+    save_marker(base, len(rows))
+    flush_rows(base, rows)
+
+
+def consistent(base):
+    marker = base / "marker.json"
+    if not marker.exists():
+        return False
+    try:
+        recorded = json.loads(marker.read_text()).get("rows", 0)
+    except ValueError:
+        return False
+    log = base / "rows.log"
+    on_disk = len(log.read_text().splitlines()) if log.exists() else 0
+    return on_disk >= recorded

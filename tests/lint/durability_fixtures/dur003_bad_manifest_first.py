@@ -1,0 +1,40 @@
+# repro: module=durfix.dur003_bad_manifest_first
+"""BAD: the manifest is durably written before the data it names.
+
+Static: DUR003 under the declared pair (first=``write_blob``,
+then=``write_index``).  Dynamic: both writes are individually atomic,
+but a crash between them leaves a durable index naming a blob that does
+not exist.
+"""
+
+import json
+
+from repro.atomio import atomic_write_text
+
+
+def setup(base):
+    atomic_write_text(base / "index.json", json.dumps({"blobs": []}))
+
+
+def write_index(base):
+    atomic_write_text(base / "index.json", json.dumps({"blobs": ["blob-1"]}))
+
+
+def write_blob(base):
+    atomic_write_text(base / "blob-1", json.dumps({"payload": 42}))
+
+
+def root(base):
+    write_index(base)
+    write_blob(base)
+
+
+def consistent(base):
+    index = base / "index.json"
+    if not index.exists():
+        return False
+    try:
+        data = json.loads(index.read_text())
+    except ValueError:
+        return False
+    return all((base / name).exists() for name in data.get("blobs", []))

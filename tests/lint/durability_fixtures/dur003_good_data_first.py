@@ -1,0 +1,39 @@
+# repro: module=durfix.dur003_good_data_first
+"""GOOD: the data lands durably before the pointer that names it.
+
+Static: silent under the declared pair (first=``store_blob``,
+then=``store_index``).  Dynamic: every crash state's index references
+only blobs that exist.
+"""
+
+import json
+
+from repro.atomio import atomic_write_text
+
+
+def setup(base):
+    atomic_write_text(base / "index.json", json.dumps({"blobs": []}))
+
+
+def store_index(base):
+    atomic_write_text(base / "index.json", json.dumps({"blobs": ["blob-1"]}))
+
+
+def store_blob(base):
+    atomic_write_text(base / "blob-1", json.dumps({"payload": 42}))
+
+
+def root(base):
+    store_blob(base)
+    store_index(base)
+
+
+def consistent(base):
+    index = base / "index.json"
+    if not index.exists():
+        return False
+    try:
+        data = json.loads(index.read_text())
+    except ValueError:
+        return False
+    return all((base / name).exists() for name in data.get("blobs", []))

@@ -1,0 +1,33 @@
+# repro: module=durfix.dur004_bad_rmw
+"""BAD: read-modify-write of a durable file through a raw rewrite.
+
+Static: DUR004 (the same path expression is read and then
+raw-rewritten in place).  Dynamic: the crash between truncate-on-open
+and the write loses both the old and the new version.
+"""
+
+import json
+
+
+def setup(base):
+    (base / "counter.json").write_text(json.dumps({"count": 1}))
+
+
+def root(base):
+    target = base / "counter.json"
+    with open(target) as f:
+        data = json.loads(f.read())
+    data["count"] += 1
+    with open(target, "w") as f:
+        f.write(json.dumps(data))
+
+
+def consistent(base):
+    path = base / "counter.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("count") in (1, 2)

@@ -1,0 +1,40 @@
+# repro: module=durfix.dur004_bad_update_mode
+"""BAD: in-place update-mode mutation of a durable file.
+
+Static: DUR004 (``open(..., "r+")``).  Dynamic: the explicit mid-update
+fsync stands in for the kernel's freedom to flush at any instant — the
+enumerated crash state between the truncate and the rewrite holds an
+empty file.
+"""
+
+import json
+import os
+
+
+def setup(base):
+    (base / "counter.json").write_text(json.dumps({"count": 1}))
+
+
+def root(base):
+    with open(base / "counter.json", "r+") as f:
+        data = json.loads(f.read())
+        data["count"] += 1
+        f.seek(0)
+        f.truncate()
+        # The kernel may flush the truncate before any new byte lands;
+        # the explicit fsync surfaces that window to the crash model.
+        os.fsync(f.fileno())
+        f.write(json.dumps(data))
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def consistent(base):
+    path = base / "counter.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("count") in (1, 2)

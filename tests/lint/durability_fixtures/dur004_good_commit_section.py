@@ -1,0 +1,33 @@
+# repro: module=durfix.dur004_good_commit_section
+"""GOOD: read-modify-write published through the atomic helper.
+
+Static: silent (the read pairs with a HELPER effect, not a raw write).
+Dynamic: every crash state holds the complete old or new counter.
+"""
+
+import json
+
+from repro.atomio import atomic_write_text
+
+
+def setup(base):
+    (base / "counter.json").write_text(json.dumps({"count": 1}))
+
+
+def root(base):
+    target = base / "counter.json"
+    with open(target) as f:
+        data = json.loads(f.read())
+    data["count"] += 1
+    atomic_write_text(target, json.dumps(data))
+
+
+def consistent(base):
+    path = base / "counter.json"
+    if not path.exists():
+        return False
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return False
+    return data.get("count") in (1, 2)

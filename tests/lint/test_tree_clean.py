@@ -86,3 +86,53 @@ class TestTreeCleanWholeProgram:
         assert waived, "expected reasoned SEED/CKPT waivers in the tree"
         for finding in waived:
             assert finding.suppression_reason.strip(), finding.format_human()
+
+
+class TestTreeCleanDurability:
+    """The crash-consistency gate — ``repro lint src --whole-program
+    --durability`` over the checked-in ``durable-roots.json``."""
+
+    def _report(self):
+        from repro.lint.purity import PurityConfig
+        from repro.lint.rules_ckpt import FingerprintExclusions
+        from repro.lint.rules_durability import DurabilityConfig
+
+        return lint_paths(
+            [SRC],
+            baseline=None,
+            whole_program=True,
+            purity_config=PurityConfig.load(REPO_ROOT / "purity-roots.json"),
+            fingerprint_exclusions=FingerprintExclusions.load(
+                REPO_ROOT / "fingerprint-exclusions.json"
+            ),
+            durability=DurabilityConfig.load(
+                REPO_ROOT / "durable-roots.json"
+            ),
+        )
+
+    def test_src_lints_clean_with_durability(self):
+        report = self._report()
+        assert not report.parse_errors, report.parse_errors
+        assert not report.findings, "\n" + "\n".join(
+            f.format_human() for f in report.findings
+        )
+
+    def test_durable_roots_config_is_validated(self):
+        # Every declared root/helper/pair member resolves (no DUR000) and
+        # the declared roots actually cover the tree's durable writers.
+        from repro.lint.rules_durability import DurabilityConfig
+
+        config = DurabilityConfig.load(REPO_ROOT / "durable-roots.json")
+        assert "repro.fleet.checkpoint.CheckpointManager.save" in config.roots
+        assert config.atomic_helpers
+        assert config.commit_order
+        report = self._report()
+        assert not any(f.rule == "DUR000" for f in report.findings)
+
+    def test_dur_suppressions_carry_reasons(self):
+        report = self._report()
+        for finding in report.suppressed:
+            if finding.rule.startswith("DUR"):
+                assert finding.suppression_reason.strip(), (
+                    finding.format_human()
+                )
